@@ -1,0 +1,41 @@
+//! Reproduces **Fig. 1**: non-zero distribution imbalance of the Cora and
+//! Pubmed adjacency matrices, rendered as block-census heatmaps plus the
+//! row-nnz summary statistics that quantify the imbalance.
+//!
+//! Run: `cargo bench -p awb-bench --bench fig01_heatmap`
+
+use awb_bench::BenchDataset;
+use awb_datasets::PaperDataset;
+use awb_sparse::profile::{row_nnz_stats, BlockHeatmap};
+
+fn main() {
+    println!("== Fig. 1: adjacency non-zero distribution imbalance ==\n");
+    for dataset in [PaperDataset::Cora, PaperDataset::Pubmed] {
+        let bench = BenchDataset::load(dataset);
+        let a = &bench.data.adjacency;
+        let stats = row_nnz_stats(a);
+        println!(
+            "{}: {} nodes, {} nnz | row nnz: min {} max {} mean {:.1} CV {:.2} Gini {:.2} imbalance {:.0}x",
+            dataset.name(),
+            a.rows(),
+            a.nnz(),
+            stats.min,
+            stats.max,
+            stats.mean,
+            stats.cv,
+            stats.gini,
+            stats.imbalance_factor,
+        );
+        let map = BlockHeatmap::of(a, 48);
+        println!(
+            "densest 1% of 48x48 blocks hold {:.1}% of all non-zeros\n",
+            map.top_k_concentration(23) * 100.0
+        );
+        println!("{}", map.render_ascii());
+    }
+    println!(
+        "The paper's point — non-zeros are unevenly distributed and partially\n\
+         clustered, so static equal row partitioning cannot balance PEs — is\n\
+         visible in both the heatmaps and the Gini/imbalance statistics."
+    );
+}

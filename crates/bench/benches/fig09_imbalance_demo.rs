@@ -1,0 +1,118 @@
+//! Reproduces **Fig. 9**: the 8-PE toy example of local vs remote workload
+//! imbalance. A 16-row, 75%-sparse matrix is processed by 8 PEs (2 rows
+//! each); perfectly even non-zeros finish a column in ~2 work-cycles per
+//! PE, local imbalance stretches it to ~5, remote imbalance to ~7 — and the
+//! rebalancing designs recover the loss.
+//!
+//! Uses the *detailed* cycle-stepped engine (real task queues, Omega
+//! network, MAC pipeline), since this is precisely the component-level
+//! scale it exists for.
+//!
+//! Run: `cargo bench -p awb-bench --bench fig09_imbalance_demo`
+
+use awb_accel::{AccelConfig, Design, DetailedEngine, SpmmEngine, TdqMode};
+use awb_bench::render_table;
+use awb_sparse::{Coo, Csc, DenseMatrix};
+
+const N_ROWS: usize = 16;
+const N_PES: usize = 8;
+/// 16x16 at 75% sparsity = 64 non-zeros, 4 per row when balanced.
+const NNZ: usize = 64;
+
+/// Perfectly balanced: every row has exactly 4 non-zeros.
+fn balanced() -> Csc {
+    let mut coo = Coo::new(N_ROWS, N_ROWS);
+    for r in 0..N_ROWS {
+        for k in 0..4 {
+            coo.push(r, (r + 4 * k + 1) % N_ROWS, 1.0).unwrap();
+        }
+    }
+    coo.to_csc()
+}
+
+/// Local imbalance (paper Fig. 9-A): counts vary between adjacent rows,
+/// but each 4-row neighbourhood holds the same total.
+fn local_imbalance() -> Csc {
+    let mut coo = Coo::new(N_ROWS, N_ROWS);
+    // Row pattern per 4-row group: 10, 4, 1, 1 (total 16 = 4 rows x 4).
+    let pattern = [10usize, 4, 1, 1];
+    for r in 0..N_ROWS {
+        let nnz = pattern[r % 4];
+        for k in 0..nnz {
+            coo.push(r, (r * 3 + k) % N_ROWS, 1.0).unwrap();
+        }
+    }
+    coo.to_csc()
+}
+
+/// Remote imbalance (paper Fig. 9-B): non-zeros concentrated in the first
+/// rows — whole neighbourhoods are overloaded.
+fn remote_imbalance() -> Csc {
+    let mut coo = Coo::new(N_ROWS, N_ROWS);
+    // Rows 0..3 hold 14 each (one PE-region drowning), rest hold the rest.
+    let mut remaining = NNZ;
+    for r in 0..4 {
+        for k in 0..14.min(N_ROWS) {
+            coo.push(r, (r + k) % N_ROWS, 1.0).unwrap();
+            remaining -= 1;
+        }
+    }
+    let light_rows = N_ROWS - 4;
+    for r in 4..N_ROWS {
+        let nnz = remaining / light_rows; // spread what's left evenly
+        for k in 0..nnz {
+            coo.push(r, (r * 5 + k) % N_ROWS, 1.0).unwrap();
+        }
+    }
+    coo.to_csc()
+}
+
+fn run(a: &Csc, design: Design) -> u64 {
+    let config = design.apply(
+        AccelConfig::builder()
+            .n_pes(N_PES)
+            .max_tuning_rounds(8)
+            .build()
+            .expect("valid config"),
+    );
+    let b = DenseMatrix::from_vec(N_ROWS, 8, vec![1.0; N_ROWS * 8]).expect("dense B");
+    let mut engine = DetailedEngine::new(config, TdqMode::Tdq2);
+    let out = engine.run(a, &b, "fig9").expect("simulation");
+    // Report the steady-state (post-tuning) cost of one column.
+    out.stats.rounds.last().expect("rounds").cycles
+}
+
+fn main() {
+    println!("== Fig. 9: local and remote imbalance among 8 PEs (16x16, 75% sparse) ==\n");
+    let cases: [(&str, Csc); 3] = [
+        ("balanced", balanced()),
+        ("local imbalance", local_imbalance()),
+        ("remote imbalance", remote_imbalance()),
+    ];
+    let designs = [
+        Design::Baseline,
+        Design::LocalSharing { hop: 1 },
+        Design::LocalPlusRemote { hop: 1 },
+    ];
+    let mut rows = Vec::new();
+    for (name, a) in &cases {
+        let mut row = vec![name.to_string(), format!("{}", a.nnz() / N_PES / 2)];
+        for design in designs {
+            row.push(format!("{}", run(a, design)));
+        }
+        rows.push(row);
+    }
+    let table = render_table(
+        &["pattern", "ideal work/PE", "Base", "LS1", "LS1+RS"],
+        &rows,
+    );
+    println!("{table}");
+    println!(
+        "Read per-column cycles down each column: the baseline degrades under\n\
+         both imbalance kinds (paper: 2 -> 5 and 7 work-cycles); local sharing\n\
+         fixes the local case, and only adding remote switching recovers the\n\
+         clustered case — the motivating observation for the whole design.\n\
+         (Absolute cycle counts include network fill and MAC drain overheads\n\
+         that the paper's idealized example omits.)"
+    );
+}

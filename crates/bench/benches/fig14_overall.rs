@@ -1,0 +1,125 @@
+//! Reproduces **Fig. 14** (all fifteen panels):
+//!
+//! * **A-E** — overall GCN inference delay (per-layer breakdown) and
+//!   average PE utilization for the five designs (Base, two local-sharing
+//!   hops, and both hops + remote switching; Nell uses 2/3-hop) on each
+//!   dataset,
+//! * **F-J** — per-SPMM cycles split into Ideal vs Sync (barrier waiting)
+//!   plus per-SPMM utilization,
+//! * **K-O** — hardware area normalized to CLBs, split into task-queue
+//!   buffering vs everything else, including the §5.2 TQ-depth headline
+//!   (Nell layer-1 A×(XW): 65 128 slots in the baseline vs 2 675 in
+//!   Design D).
+//!
+//! Run: `cargo bench -p awb-bench --bench fig14_overall`
+//! (`AWB_FULL_SCALE=1` for full-size Nell/Reddit.)
+
+use awb_accel::{AreaModel, GcnRunOutcome};
+use awb_bench::{pct, render_table, BenchDataset};
+use awb_datasets::PaperDataset;
+
+fn main() {
+    // Paper Fig. 14 A-E utilizations (baseline, best design D).
+    let paper_util: [(f64, f64); 5] = [
+        (0.53, 0.90),
+        (0.71, 0.89),
+        (0.69, 0.96),
+        (0.13, 0.77),
+        (0.92, 0.99),
+    ];
+    let area_model = AreaModel::paper_default();
+
+    for (dataset, (paper_base, paper_best)) in PaperDataset::all().into_iter().zip(paper_util) {
+        let bench = BenchDataset::load(dataset);
+        println!(
+            "==== {} (scale {:.3}, {} PEs; paper util: base {:.0}% -> best {:.0}%) ====\n",
+            dataset.name(),
+            bench.scale,
+            bench.n_pes,
+            paper_base * 100.0,
+            paper_best * 100.0
+        );
+        let designs = bench.designs();
+        let outcomes: Vec<GcnRunOutcome> =
+            designs.iter().map(|d| bench.run_design(*d)).collect();
+        let base_cycles = outcomes[0].stats.total_cycles();
+
+        // --- Panel A-E: overall delay + utilization ---
+        let mut rows = Vec::new();
+        for (design, out) in designs.iter().zip(&outcomes) {
+            let l1 = out.stats.layers[0].pipelined_cycles;
+            let l2 = out.stats.layers[1].pipelined_cycles;
+            rows.push(vec![
+                design.label(),
+                format!("{}", out.stats.total_cycles()),
+                format!("{l1}"),
+                format!("{l2}"),
+                format!("{:.2}x", base_cycles as f64 / out.stats.total_cycles() as f64),
+                pct(out.stats.avg_utilization()),
+                format!("{}", out.stats.ideal_cycles()),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &["design", "cycles", "layer1", "layer2", "speedup", "util", "lower bound"],
+                &rows
+            )
+        );
+
+        // --- Panel F-J: per-SPMM ideal vs sync ---
+        let mut rows = Vec::new();
+        for (design, out) in designs.iter().zip(&outcomes) {
+            for spmm in out.stats.spmms() {
+                rows.push(vec![
+                    design.label(),
+                    spmm.label.clone(),
+                    format!("{}", spmm.ideal_cycles()),
+                    format!("{}", spmm.sync_cycles()),
+                    pct(spmm.utilization()),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            render_table(&["design", "SPMM", "ideal", "sync", "util"], &rows)
+        );
+
+        // --- Panel K-O: area (CLBs), TQ vs rest ---
+        let mut rows = Vec::new();
+        for (design, out) in designs.iter().zip(&outcomes) {
+            let config = design.apply(bench.base_config());
+            let tq_slots = out
+                .stats
+                .spmms()
+                .iter()
+                .map(|s| s.total_queue_slots())
+                .max()
+                .unwrap_or(0);
+            let area = area_model.breakdown(&config, tq_slots);
+            rows.push(vec![
+                design.label(),
+                format!("{}", out.stats.max_queue_depth()),
+                format!("{tq_slots}"),
+                format!("{:.0}", area.task_queues),
+                format!("{:.0}", area.non_tq()),
+                format!("{:.0}", area.total()),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &["design", "TQ depth", "TQ slots", "CLB (TQ)", "CLB (other)", "CLB total"],
+                &rows
+            )
+        );
+        println!();
+    }
+    println!(
+        "Paper cross-checks: rebalancing lifts utilization on every dataset with\n\
+         the largest gain on Nell and almost none on Reddit; the mean speedup of\n\
+         the best design over the baseline is ~2.7x; TQ depth (and with it total\n\
+         area) shrinks when workloads are balanced, while the rebalancing logic\n\
+         itself adds only 2.7%/4.3%/1.9% (1-hop/2-hop/remote) to the non-TQ area."
+    );
+}

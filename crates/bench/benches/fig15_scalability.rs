@@ -1,0 +1,79 @@
+//! Reproduces **Fig. 15**: scalability with PE count (paper: 512 / 768 /
+//! 1024) for three designs — baseline, local sharing, local sharing plus
+//! remote switching — reporting performance, PE utilization, and area.
+//!
+//! The paper's observation: baseline utilization *drops* as PEs grow
+//! (fewer rows per PE average out less imbalance), while the rebalanced
+//! designs hold utilization roughly flat and scale near-linearly.
+//!
+//! PE counts scale with the dataset's node-scale factor (see `awb-bench`)
+//! so the rows/PE ratios match the paper's full-size setup.
+//!
+//! Run: `cargo bench -p awb-bench --bench fig15_scalability`
+
+use awb_accel::{AreaModel, Design, GcnRunner};
+use awb_bench::{pct, render_table, BenchDataset};
+use awb_datasets::PaperDataset;
+
+fn main() {
+    println!("== Fig. 15: utilization, performance, area vs PE count ==\n");
+    let area_model = AreaModel::paper_default();
+    for dataset in PaperDataset::all() {
+        let bench = BenchDataset::load(dataset);
+        let hop = match dataset {
+            PaperDataset::Nell => 3, // paper uses 3-hop for Nell here
+            _ => 1,
+        };
+        // Paper's 512/768/1024, scaled with the dataset.
+        let pe_counts: Vec<usize> = [512usize, 768, 1024]
+            .iter()
+            .map(|&p| ((p as f64 * bench.scale).round() as usize).max(16))
+            .collect();
+        println!(
+            "---- {} (scale {:.3}; PE sweep {:?}; {}-hop sharing) ----",
+            dataset.name(),
+            bench.scale,
+            pe_counts,
+            hop
+        );
+        let mut rows = Vec::new();
+        for &n_pes in &pe_counts {
+            for design in [
+                Design::Baseline,
+                Design::LocalSharing { hop },
+                Design::LocalPlusRemote { hop },
+            ] {
+                let mut builder = awb_accel::AccelConfig::builder();
+                builder.n_pes(n_pes);
+                let config = design.apply(builder.build().expect("valid config"));
+                let out = GcnRunner::new(config.clone())
+                    .run(&bench.input)
+                    .expect("simulation");
+                let tq_slots = out
+                    .stats
+                    .spmms()
+                    .iter()
+                    .map(|s| s.total_queue_slots())
+                    .max()
+                    .unwrap_or(0);
+                let area = area_model.breakdown(&config, tq_slots);
+                rows.push(vec![
+                    format!("{n_pes}"),
+                    design.label(),
+                    format!("{}", out.stats.total_cycles()),
+                    pct(out.stats.avg_utilization()),
+                    format!("{:.0}", area.total()),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            render_table(&["PEs", "design", "cycles", "util", "CLB total"], &rows)
+        );
+    }
+    println!(
+        "Expected shapes (paper): baseline utilization falls with PE count;\n\
+         rebalanced designs stay flat and their cycle counts scale down almost\n\
+         linearly with PEs."
+    );
+}

@@ -1,0 +1,110 @@
+//! Reproduces **Table 3**: cross-platform latency, energy efficiency, and
+//! frequency for CPU / GPU / EIE-like / FPGA baseline / AWB-GCN across the
+//! five datasets, plus the headline mean speedups (paper: 246.7× vs CPU,
+//! 78.9× vs GPU, 2.7× vs baseline).
+//!
+//! CPU/GPU numbers come from the analytic models calibrated to the paper's
+//! own Table 3 (see `awb-platforms`); FPGA rows are simulated. Scaled
+//! datasets run with proportionally scaled PE arrays, which keeps cycle
+//! counts (and hence latency) comparable to the paper's 1024-PE setup
+//! (ideal cycles = tasks/PEs is scale-invariant; see `awb-bench` docs).
+//!
+//! Run: `cargo bench -p awb-bench --bench table3_cross_platform`
+
+use awb_accel::{cycles_to_ms, Design};
+use awb_bench::{render_table, BenchDataset};
+use awb_datasets::PaperDataset;
+use awb_platforms::{workload_spmms, CpuModel, GpuModel, Platform, PlatformResult, SpeedupSummary};
+
+fn main() {
+    println!("== Table 3: cross-platform evaluation ==\n");
+    // Paper's latency rows (ms) for side-by-side comparison.
+    let paper_latency: [(f64, f64, f64, f64, f64); 5] = [
+        // (CPU, GPU, EIE, Baseline, AWB)
+        (3.90, 1.78, 0.022, 0.023, 0.011),
+        (4.33, 2.09, 0.024, 0.025, 0.018),
+        (34.15, 7.71, 0.22, 0.23, 0.14),
+        (1.61e3, 130.65, 59.1, 61.0, 8.4),
+        (1.08e4, 2.43e3, 56.3, 58.9, 53.2),
+    ];
+
+    let cpu_model = CpuModel::paper_calibrated();
+    let gpu_model = GpuModel::paper_calibrated();
+    let mut rows = Vec::new();
+    let mut awb = Vec::new();
+    let mut cpu = Vec::new();
+    let mut gpu = Vec::new();
+    let mut baseline = Vec::new();
+    let mut eie = Vec::new();
+
+    for (dataset, paper) in PaperDataset::all().into_iter().zip(paper_latency) {
+        let bench = BenchDataset::load(dataset);
+        // All platforms must see the *same* problem: the analytic CPU/GPU
+        // models consume the scaled spec's workload, matching what the
+        // FPGA designs simulate. (At scale 1.0 this is the paper's exact
+        // workload; for scaled Nell/Reddit, compare ratios, not absolute
+        // ms, against the paper columns.)
+        let workload = workload_spmms(&bench.spec);
+        let cpu_ms = cpu_model.latency_ms(&workload);
+        let gpu_ms = gpu_model.latency_ms(&workload);
+
+        // Simulated FPGA designs (scaled dataset + scaled PEs).
+        let base_run = bench.run_design(Design::Baseline);
+        let eie_run = bench.run_design(Design::EieLike);
+        let awb_run = bench.run_design(bench.design_d());
+        // Latency extrapolation to full scale: cycle counts are already
+        // scale-comparable; only rescale when running scaled instances so
+        // the absolute ms can be read against the paper.
+        let base_ms = cycles_to_ms(base_run.stats.total_cycles(), 275.0);
+        let eie_ms = cycles_to_ms(eie_run.stats.total_cycles(), 285.0);
+        let awb_ms = cycles_to_ms(awb_run.stats.total_cycles(), 275.0);
+
+        let mk = |p: Platform, ms: f64| PlatformResult::new(p, dataset.name(), ms);
+        let r_cpu = mk(Platform::Cpu, cpu_ms);
+        let r_gpu = mk(Platform::Gpu, gpu_ms);
+        let r_eie = mk(Platform::EieLike, eie_ms);
+        let r_base = mk(Platform::FpgaBaseline, base_ms);
+        let r_awb = mk(Platform::AwbGcn, awb_ms);
+
+        for (r, paper_ms) in [
+            (&r_cpu, paper.0),
+            (&r_gpu, paper.1),
+            (&r_eie, paper.2),
+            (&r_base, paper.3),
+            (&r_awb, paper.4),
+        ] {
+            rows.push(vec![
+                dataset.name().to_string(),
+                r.platform.name().to_string(),
+                r.platform.freq_label().to_string(),
+                format!("{:.3}", r.latency_ms),
+                format!("{paper_ms:.3}"),
+                format!("{:.3e}", r.inferences_per_kj),
+            ]);
+        }
+        cpu.push(r_cpu);
+        gpu.push(r_gpu);
+        eie.push(r_eie);
+        baseline.push(r_base);
+        awb.push(r_awb);
+    }
+
+    let table = render_table(
+        &["dataset", "platform", "freq", "latency ms", "paper ms", "inf/kJ"],
+        &rows,
+    );
+    println!("{table}");
+
+    let summary = SpeedupSummary::from_results(&awb, &cpu, &gpu, &baseline, &eie);
+    println!(
+        "mean speedups of AWB-GCN:  vs CPU {:.1}x (paper 246.7x) | vs GPU {:.1}x (paper 78.9x) | \
+         vs baseline {:.2}x (paper 2.7x) | vs EIE-like {:.2}x",
+        summary.vs_cpu, summary.vs_gpu, summary.vs_baseline, summary.vs_eie
+    );
+    println!(
+        "\nNote: scaled Nell/Reddit runs use proportionally scaled PE arrays, so\n\
+         simulated FPGA latencies are read against the paper at matched rows/PE;\n\
+         set AWB_FULL_SCALE=1 for full-size runs. CPU/GPU columns are analytic\n\
+         models calibrated to the paper's own measurements (DESIGN.md §2)."
+    );
+}

@@ -1,0 +1,45 @@
+//! Internal calibration probe: prints per-dataset baseline / Design-D
+//! utilization next to the paper's values, plus wall time per run.
+//! Not part of the published experiment set — used while tuning the
+//! synthetic generator parameters (see DESIGN.md).
+
+use awb_bench::BenchDataset;
+use awb_datasets::PaperDataset;
+use std::time::Instant;
+
+fn main() {
+    // Paper Fig. 14 A-E baseline / best-design utilizations.
+    let paper: [(PaperDataset, f64, f64); 5] = [
+        (PaperDataset::Cora, 0.53, 0.90),
+        (PaperDataset::Citeseer, 0.71, 0.89),
+        (PaperDataset::Pubmed, 0.69, 0.96),
+        (PaperDataset::Nell, 0.13, 0.77),
+        (PaperDataset::Reddit, 0.92, 0.99),
+    ];
+    for (ds, paper_base, paper_best) in paper {
+        let t0 = Instant::now();
+        let bench = BenchDataset::load(ds);
+        let gen_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let base = bench.run_design(awb_accel::Design::Baseline);
+        let base_s = t1.elapsed().as_secs_f64();
+        let t2 = Instant::now();
+        let best = bench.run_design(bench.design_d());
+        let best_s = t2.elapsed().as_secs_f64();
+        println!(
+            "{:<9} scale {:>6.3} pes {:>5} | base util {:>5.1}% (paper {:>4.1}%) | bestD {:>5.1}% (paper {:>4.1}%) | speedup {:>4.2}x | gen {:.1}s base {:.1}s best {:.1}s | tasks {}",
+            ds.name(),
+            bench.scale,
+            bench.n_pes,
+            base.stats.avg_utilization() * 100.0,
+            paper_base * 100.0,
+            best.stats.avg_utilization() * 100.0,
+            paper_best * 100.0,
+            base.stats.total_cycles() as f64 / best.stats.total_cycles().max(1) as f64,
+            gen_s,
+            base_s,
+            best_s,
+            base.stats.total_tasks(),
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Internal probe: per-SPMM cycle/utilization breakdown for one dataset
+//! and design, used while calibrating the simulator.
+
+use awb_bench::BenchDataset;
+use awb_datasets::PaperDataset;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Pubmed".into());
+    let ds = PaperDataset::all()
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(&name))
+        .expect("dataset name");
+    let bench = BenchDataset::load(ds);
+    for design in [awb_accel::Design::Baseline, bench.design_d()] {
+        let out = bench.run_design(design);
+        println!(
+            "=== {} {} ({} PEs) total {} cycles util {:.1}% ===",
+            ds.name(),
+            design.label(),
+            bench.n_pes,
+            out.stats.total_cycles(),
+            out.stats.avg_utilization() * 100.0
+        );
+        for s in out.stats.spmms() {
+            let r0 = &s.rounds[0];
+            println!(
+                "  {:<10} rounds {:>4} tasks {:>10} cycles {:>9} ideal {:>8} util {:>5.1}% | r0: tasks {:>8} cycles {:>7} maxPE {:>7} minPE {:>6} maxQ {:>7}",
+                s.label,
+                s.rounds.len(),
+                s.total_tasks(),
+                s.total_cycles(),
+                s.ideal_cycles(),
+                s.utilization() * 100.0,
+                r0.tasks,
+                r0.cycles,
+                r0.max_pe_busy,
+                r0.min_pe_busy,
+                r0.max_queue_depth,
+            );
+        }
+    }
+}

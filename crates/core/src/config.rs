@@ -1,0 +1,454 @@
+use crate::error::AccelError;
+use awb_hw::MemoryModel;
+
+/// How matrix rows are initially partitioned across PEs (paper Fig. 6 uses
+/// contiguous blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MappingKind {
+    /// Row `r` belongs to PE `r * n_pes / n_rows` — contiguous blocks, the
+    /// paper's layout. Clustered hub rows land on the same PE, which is
+    /// what makes *remote* imbalance visible.
+    #[default]
+    Block,
+    /// Row `r` belongs to PE `r % n_pes` — an ablation that spreads
+    /// adjacent rows across PEs.
+    Cyclic,
+}
+
+/// Which rows the Shuffling LUT exchanges during remote switching
+/// (paper §4.2 leaves the selection unspecified; see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SltPolicy {
+    /// Exchange the next `N_i` rows of each PE in index order —
+    /// hardware-cheap, no per-row state.
+    #[default]
+    Sequential,
+    /// Exchange the hotspot's heaviest rows against the coldspot's lightest
+    /// ones, using per-row task counters from the previous round — the
+    /// idealized upper bound.
+    DegreeAware,
+}
+
+/// How a Read-after-Write hazard interacts with the PE's issue slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StallMode {
+    /// The hazard job parks in the stall buffer while younger jobs issue
+    /// (the paper's design: "we buffer that job and delay for a few
+    /// cycles"). No throughput loss unless the queue is otherwise empty.
+    #[default]
+    Park,
+    /// Head-of-line blocking: the PE stalls until the hazard resolves
+    /// (ablation).
+    Block,
+}
+
+/// Named design points evaluated in the paper (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// §3 baseline: static equal partition, no rebalancing.
+    Baseline,
+    /// Dynamic local sharing only, with the given hop distance
+    /// (paper Designs A/B are 1-hop/2-hop; Nell uses 2/3-hop).
+    LocalSharing {
+        /// Sharing radius in PEs.
+        hop: usize,
+    },
+    /// Local sharing plus dynamic remote switching (paper Designs C/D).
+    LocalPlusRemote {
+        /// Sharing radius in PEs.
+        hop: usize,
+    },
+    /// The EIE-derived reference of Table 3: the baseline datapath without
+    /// rebalancing, clocked at 285 MHz.
+    EieLike,
+}
+
+impl Design {
+    /// Short label as used in the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            Design::Baseline => "Base".into(),
+            Design::LocalSharing { hop } => format!("LS{hop}"),
+            Design::LocalPlusRemote { hop } => format!("LS{hop}+RS"),
+            Design::EieLike => "EIE-like".into(),
+        }
+    }
+
+    /// The paper's five-way comparison for a dataset: Base, two local-only
+    /// hops, and the same two hops with remote switching. Nell uses 2/3-hop
+    /// instead of 1/2-hop (§5.2).
+    pub fn paper_lineup(small_hop: usize) -> [Design; 5] {
+        [
+            Design::Baseline,
+            Design::LocalSharing { hop: small_hop },
+            Design::LocalSharing { hop: small_hop + 1 },
+            Design::LocalPlusRemote { hop: small_hop },
+            Design::LocalPlusRemote { hop: small_hop + 1 },
+        ]
+    }
+
+    /// Applies this design point to a base configuration.
+    pub fn apply(&self, mut config: AccelConfig) -> AccelConfig {
+        match *self {
+            Design::Baseline => {
+                config.local_hop = 0;
+                config.remote_switching = false;
+            }
+            Design::LocalSharing { hop } => {
+                config.local_hop = hop;
+                config.remote_switching = false;
+            }
+            Design::LocalPlusRemote { hop } => {
+                config.local_hop = hop;
+                config.remote_switching = true;
+            }
+            Design::EieLike => {
+                config.local_hop = 0;
+                config.remote_switching = false;
+                config.queues_per_pe = 1;
+                config.freq_mhz = 285.0;
+            }
+        }
+        config
+    }
+}
+
+/// Full accelerator configuration.
+///
+/// Construct via [`AccelConfig::builder`]; defaults follow the paper's
+/// evaluation setup (1024 PEs, 275 MHz, 6-cycle MAC, block mapping,
+/// 2-entry hotspot tracking window).
+///
+/// # Example
+///
+/// ```
+/// use awb_accel::{AccelConfig, Design};
+///
+/// # fn main() -> Result<(), awb_accel::AccelError> {
+/// let base = AccelConfig::builder().n_pes(256).build()?;
+/// let tuned = Design::LocalPlusRemote { hop: 2 }.apply(base);
+/// assert_eq!(tuned.local_hop, 2);
+/// assert!(tuned.remote_switching);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelConfig {
+    /// Number of processing elements (≥ 2; the detailed TDQ-2 engine's
+    /// Omega network additionally requires a power of two).
+    pub n_pes: usize,
+    /// Floating-point MAC pipeline depth in cycles (RaW hazard window).
+    pub mac_latency: u32,
+    /// Local-sharing radius in PEs (0 disables local sharing).
+    pub local_hop: usize,
+    /// Whether dynamic remote switching is active.
+    pub remote_switching: bool,
+    /// Row-selection policy of the Shuffling LUT.
+    pub slt_policy: SltPolicy,
+    /// How many hotspot/coldspot tuples the PE Status Monitor tracks
+    /// concurrently (paper: 2).
+    pub tracking_window: usize,
+    /// Initial row→PE partition.
+    pub mapping: MappingKind,
+    /// Task queues per PE for TDQ-1 (paper Fig. 6: 4).
+    pub queues_per_pe: usize,
+    /// Omega-network per-port buffer depth (TDQ-2, detailed engine).
+    pub net_buffer: usize,
+    /// Hazard handling mode.
+    pub stall_mode: StallMode,
+    /// Clock frequency in MHz (for latency/energy conversion).
+    pub freq_mhz: f64,
+    /// Overlap consecutive SPMMs column-by-column (paper Fig. 8).
+    pub pipeline_spmms: bool,
+    /// Upper bound on auto-tuning rounds before the configuration freezes.
+    pub max_tuning_rounds: usize,
+    /// SPMMeM/DCM buffering model: bounds the distributor's delivery rate
+    /// when the sparse operand does not fit on chip (paper Fig. 7).
+    pub memory: MemoryModel,
+}
+
+impl AccelConfig {
+    /// Starts a builder with the paper's defaults.
+    pub fn builder() -> AccelConfigBuilder {
+        AccelConfigBuilder::default()
+    }
+
+    /// The paper's Table 3 setup: 1024 PEs at 275 MHz.
+    ///
+    /// # Panics
+    ///
+    /// Never panics (the defaults are valid).
+    pub fn paper_default() -> Self {
+        AccelConfig::builder()
+            .build()
+            .expect("paper defaults are valid")
+    }
+
+    /// Rows initially assigned to each PE under equal partition — the `R`
+    /// of the paper's Eq. 5.
+    pub fn rows_per_pe(&self, n_rows: usize) -> usize {
+        n_rows.div_ceil(self.n_pes)
+    }
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        AccelConfig::paper_default()
+    }
+}
+
+/// Builder for [`AccelConfig`].
+#[derive(Debug, Clone)]
+pub struct AccelConfigBuilder {
+    config: AccelConfig,
+}
+
+impl Default for AccelConfigBuilder {
+    fn default() -> Self {
+        AccelConfigBuilder {
+            config: AccelConfig {
+                n_pes: 1024,
+                mac_latency: 6,
+                local_hop: 1,
+                remote_switching: true,
+                slt_policy: SltPolicy::default(),
+                tracking_window: 2,
+                mapping: MappingKind::default(),
+                queues_per_pe: 4,
+                net_buffer: 4,
+                stall_mode: StallMode::default(),
+                freq_mhz: 275.0,
+                pipeline_spmms: true,
+                max_tuning_rounds: 32,
+                memory: MemoryModel::unbounded(),
+            },
+        }
+    }
+}
+
+impl AccelConfigBuilder {
+    /// Sets the PE count (must be a power of two ≥ 2).
+    pub fn n_pes(&mut self, n: usize) -> &mut Self {
+        self.config.n_pes = n;
+        self
+    }
+
+    /// Sets the MAC pipeline latency in cycles (≥ 1).
+    pub fn mac_latency(&mut self, cycles: u32) -> &mut Self {
+        self.config.mac_latency = cycles;
+        self
+    }
+
+    /// Sets the local-sharing hop distance (0 disables).
+    pub fn local_hop(&mut self, hop: usize) -> &mut Self {
+        self.config.local_hop = hop;
+        self
+    }
+
+    /// Enables or disables remote switching.
+    pub fn remote_switching(&mut self, on: bool) -> &mut Self {
+        self.config.remote_switching = on;
+        self
+    }
+
+    /// Sets the Shuffling-LUT policy.
+    pub fn slt_policy(&mut self, policy: SltPolicy) -> &mut Self {
+        self.config.slt_policy = policy;
+        self
+    }
+
+    /// Sets the PESM tracking window (≥ 1).
+    pub fn tracking_window(&mut self, tuples: usize) -> &mut Self {
+        self.config.tracking_window = tuples;
+        self
+    }
+
+    /// Sets the initial row mapping.
+    pub fn mapping(&mut self, mapping: MappingKind) -> &mut Self {
+        self.config.mapping = mapping;
+        self
+    }
+
+    /// Sets TDQ-1 queues per PE (≥ 1).
+    pub fn queues_per_pe(&mut self, n: usize) -> &mut Self {
+        self.config.queues_per_pe = n;
+        self
+    }
+
+    /// Sets the Omega-network buffer depth (≥ 1).
+    pub fn net_buffer(&mut self, depth: usize) -> &mut Self {
+        self.config.net_buffer = depth;
+        self
+    }
+
+    /// Sets hazard handling.
+    pub fn stall_mode(&mut self, mode: StallMode) -> &mut Self {
+        self.config.stall_mode = mode;
+        self
+    }
+
+    /// Sets the clock frequency in MHz (> 0).
+    pub fn freq_mhz(&mut self, mhz: f64) -> &mut Self {
+        self.config.freq_mhz = mhz;
+        self
+    }
+
+    /// Enables or disables inter-SPMM pipelining.
+    pub fn pipeline_spmms(&mut self, on: bool) -> &mut Self {
+        self.config.pipeline_spmms = on;
+        self
+    }
+
+    /// Sets the auto-tuning round budget (≥ 1).
+    pub fn max_tuning_rounds(&mut self, rounds: usize) -> &mut Self {
+        self.config.max_tuning_rounds = rounds;
+        self
+    }
+
+    /// Sets the SPMMeM/DCM memory model.
+    pub fn memory(&mut self, memory: MemoryModel) -> &mut Self {
+        self.config.memory = memory;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] when any field is out of its
+    /// documented domain.
+    pub fn build(&self) -> Result<AccelConfig, AccelError> {
+        let c = &self.config;
+        // Any PE count >= 2 is valid for the fast engine; the Omega network
+        // of the detailed TDQ-2 engine additionally requires a power of two
+        // (checked there). The paper's Fig. 15 sweeps 512/768/1024.
+        if c.n_pes < 2 {
+            return Err(AccelError::InvalidConfig(format!(
+                "n_pes must be >= 2, got {}",
+                c.n_pes
+            )));
+        }
+        if c.mac_latency == 0 {
+            return Err(AccelError::InvalidConfig("mac_latency must be >= 1".into()));
+        }
+        if c.local_hop >= c.n_pes {
+            return Err(AccelError::InvalidConfig(format!(
+                "local_hop {} must be < n_pes {}",
+                c.local_hop, c.n_pes
+            )));
+        }
+        if c.tracking_window == 0 {
+            return Err(AccelError::InvalidConfig(
+                "tracking_window must be >= 1".into(),
+            ));
+        }
+        if c.queues_per_pe == 0 {
+            return Err(AccelError::InvalidConfig(
+                "queues_per_pe must be >= 1".into(),
+            ));
+        }
+        if c.net_buffer == 0 {
+            return Err(AccelError::InvalidConfig("net_buffer must be >= 1".into()));
+        }
+        if !(c.freq_mhz.is_finite() && c.freq_mhz > 0.0) {
+            return Err(AccelError::InvalidConfig(format!(
+                "freq_mhz must be positive, got {}",
+                c.freq_mhz
+            )));
+        }
+        if c.max_tuning_rounds == 0 {
+            return Err(AccelError::InvalidConfig(
+                "max_tuning_rounds must be >= 1".into(),
+            ));
+        }
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AccelConfig::paper_default();
+        assert_eq!(c.n_pes, 1024);
+        assert_eq!(c.freq_mhz, 275.0);
+        assert_eq!(c.mac_latency, 6);
+        assert_eq!(c.tracking_window, 2);
+        assert_eq!(c.mapping, MappingKind::Block);
+    }
+
+    #[test]
+    fn builder_validates_n_pes() {
+        assert!(AccelConfig::builder().n_pes(0).build().is_err());
+        assert!(AccelConfig::builder().n_pes(1).build().is_err());
+        assert!(AccelConfig::builder().n_pes(512).build().is_ok());
+        // Non-power-of-two is allowed (paper Fig. 15 uses 768 PEs); only
+        // the detailed TDQ-2 engine restricts it.
+        assert!(AccelConfig::builder().n_pes(768).build().is_ok());
+    }
+
+    #[test]
+    fn builder_validates_other_fields() {
+        assert!(AccelConfig::builder().mac_latency(0).build().is_err());
+        assert!(AccelConfig::builder().tracking_window(0).build().is_err());
+        assert!(AccelConfig::builder().queues_per_pe(0).build().is_err());
+        assert!(AccelConfig::builder().net_buffer(0).build().is_err());
+        assert!(AccelConfig::builder().freq_mhz(0.0).build().is_err());
+        assert!(AccelConfig::builder().freq_mhz(f64::NAN).build().is_err());
+        assert!(AccelConfig::builder().max_tuning_rounds(0).build().is_err());
+        assert!(AccelConfig::builder()
+            .n_pes(4)
+            .local_hop(4)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn design_apply_baseline_disables_rebalancing() {
+        let c = Design::Baseline.apply(AccelConfig::paper_default());
+        assert_eq!(c.local_hop, 0);
+        assert!(!c.remote_switching);
+    }
+
+    #[test]
+    fn design_apply_variants() {
+        let base = AccelConfig::paper_default();
+        let a = Design::LocalSharing { hop: 1 }.apply(base.clone());
+        assert_eq!((a.local_hop, a.remote_switching), (1, false));
+        let d = Design::LocalPlusRemote { hop: 2 }.apply(base.clone());
+        assert_eq!((d.local_hop, d.remote_switching), (2, true));
+        let e = Design::EieLike.apply(base);
+        assert_eq!(e.freq_mhz, 285.0);
+        assert_eq!(e.queues_per_pe, 1);
+    }
+
+    #[test]
+    fn paper_lineup_shapes() {
+        let lineup = Design::paper_lineup(1);
+        assert_eq!(lineup[0], Design::Baseline);
+        assert_eq!(lineup[1], Design::LocalSharing { hop: 1 });
+        assert_eq!(lineup[2], Design::LocalSharing { hop: 2 });
+        assert_eq!(lineup[3], Design::LocalPlusRemote { hop: 1 });
+        assert_eq!(lineup[4], Design::LocalPlusRemote { hop: 2 });
+        let nell = Design::paper_lineup(2);
+        assert_eq!(nell[1], Design::LocalSharing { hop: 2 });
+        assert_eq!(nell[4], Design::LocalPlusRemote { hop: 3 });
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Design::Baseline.label(), "Base");
+        assert_eq!(Design::LocalSharing { hop: 2 }.label(), "LS2");
+        assert_eq!(Design::LocalPlusRemote { hop: 3 }.label(), "LS3+RS");
+        assert_eq!(Design::EieLike.label(), "EIE-like");
+    }
+
+    #[test]
+    fn rows_per_pe_rounds_up() {
+        let c = AccelConfig::builder().n_pes(8).build().unwrap();
+        assert_eq!(c.rows_per_pe(17), 3);
+        assert_eq!(c.rows_per_pe(16), 2);
+    }
+}

@@ -1,0 +1,594 @@
+//! The fast SPMM engine: O(1) work per MAC task.
+//!
+//! Models the architecture at queue-dynamics granularity:
+//!
+//! * the distributor delivers `n_pes` non-zero tasks per cycle in stream
+//!   order (TDQ-1's rate-matched fetch and TDQ-2's CSC stream both sustain
+//!   this in the paper's design),
+//! * every PE issues at most one MAC per cycle and drains its queue in
+//!   FIFO order,
+//! * local sharing compares (lazily drained) pending-task counters within
+//!   the hop window at enqueue time,
+//! * the RaW scoreboard extends per-row completion times (optionally
+//!   blocking the issue slot, see [`StallMode`](crate::StallMode)),
+//! * remote switching and auto-tuning run between rounds on the per-round
+//!   PE-busy profile.
+//!
+//! The model is validated against [`DetailedEngine`](super::DetailedEngine)
+//! in the crate's integration tests.
+
+use crate::config::{AccelConfig, StallMode};
+use crate::engine::{check_shapes, SpmmEngine, SpmmOutcome};
+use crate::error::AccelError;
+use crate::mapping::RowMap;
+use crate::rebalance::autotuner::AutoTuner;
+use crate::rebalance::local::LocalSharing;
+use crate::rebalance::remote::RoundProfile;
+use crate::stats::{RoundStats, SpmmStats};
+use awb_sparse::{Csc, DenseMatrix};
+
+/// Fast queue-dynamics engine (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use awb_accel::{AccelConfig, FastEngine, SpmmEngine};
+/// use awb_sparse::{Coo, DenseMatrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Coo::new(4, 4);
+/// a.push(0, 1, 2.0)?;
+/// a.push(3, 0, 1.0)?;
+/// let b = DenseMatrix::from_rows(&[&[1.0], &[3.0], &[0.0], &[0.0]])?;
+/// let config = AccelConfig::builder().n_pes(2).build()?;
+/// let mut engine = FastEngine::new(config);
+/// let out = engine.run(&a.to_csc(), &b, "demo")?;
+/// assert_eq!(out.c.get(0, 0), 6.0);
+/// assert!(out.stats.total_cycles() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastEngine {
+    config: AccelConfig,
+    sharing: Option<LocalSharing>,
+    map: Option<RowMap>,
+    tuner: Option<AutoTuner>,
+}
+
+impl FastEngine {
+    /// Creates an engine; the row map is initialized lazily from the first
+    /// sparse operand.
+    pub fn new(config: AccelConfig) -> Self {
+        FastEngine {
+            config,
+            sharing: None,
+            map: None,
+            tuner: None,
+        }
+    }
+
+    /// The current row→PE map (None before the first run).
+    pub fn row_map(&self) -> Option<&RowMap> {
+        self.map.as_ref()
+    }
+
+    /// Rows exchanged by remote switching so far.
+    pub fn total_switches(&self) -> u64 {
+        self.tuner.as_ref().map_or(0, |t| t.total_switches())
+    }
+
+    /// Whether the auto-tuner is still adjusting.
+    pub fn tuning_active(&self) -> bool {
+        self.tuner.as_ref().is_some_and(|t| t.is_active())
+    }
+
+    fn ensure_state(&mut self, n_rows: usize) -> Result<(), AccelError> {
+        match &self.map {
+            Some(map) if map.n_rows() != n_rows => Err(AccelError::InvalidConfig(format!(
+                "engine tuned for {} rows reused with {} rows",
+                map.n_rows(),
+                n_rows
+            ))),
+            Some(_) => Ok(()),
+            None => {
+                self.map = Some(RowMap::new(n_rows, self.config.n_pes, self.config.mapping));
+                self.tuner = Some(AutoTuner::new(&self.config, n_rows));
+                self.sharing = Some(LocalSharing::new(self.config.local_hop, self.config.n_pes));
+                Ok(())
+            }
+        }
+    }
+}
+
+impl SpmmEngine for FastEngine {
+    fn run(&mut self, a: &Csc, b: &DenseMatrix, label: &str) -> Result<SpmmOutcome, AccelError> {
+        check_shapes(a, b)?;
+        self.ensure_state(a.rows())?;
+        let n_pes = self.config.n_pes;
+        let n_rows = a.rows();
+        let lat = self.config.mac_latency as u64;
+        // The distributor's delivery rate: full speed when SPMMeM holds
+        // the operand on chip, bandwidth-bound when it must stream.
+        let bandwidth = self
+            .config
+            .memory
+            .delivery_rate_limit(a.nnz(), n_pes)
+            .max(1) as u64;
+        let on_chip = self.config.memory.fits_on_chip(a.nnz());
+        let stall_mode = self.config.stall_mode;
+        let sharing = self.sharing.expect("initialized in ensure_state");
+        let use_sharing = self.config.local_hop > 0;
+        let map = self.map.as_mut().expect("initialized in ensure_state");
+        let tuner = self.tuner.as_mut().expect("initialized in ensure_state");
+
+        // Per-PE scratch.
+        let mut pending = vec![0u32; n_pes];
+        let mut last_seen = vec![0u64; n_pes];
+        let mut issue_until = vec![0u64; n_pes];
+        let mut busy = vec![0u64; n_pes];
+        // Owner-attributed load: the distributor counts every task against
+        // the PE that *owns* its row, before any local-sharing diversion.
+        // The PESM profiles on this view — under sharing, executed-load
+        // plateaus across a hot neighbourhood and would hide which PE's
+        // rows cause the overload (see DESIGN.md, remote switching).
+        let mut owner_busy = vec![0u64; n_pes];
+        let mut max_q = vec![0u32; n_pes];
+        // Per-row scratch.
+        let mut ready = vec![0u64; n_rows];
+        let mut col_acc = vec![0f32; n_rows];
+        let mut row_tasks: Vec<u32> = Vec::new();
+
+        let mut c = DenseMatrix::zeros(n_rows, b.cols());
+        let mut rounds = Vec::with_capacity(b.cols());
+        let mut queue_high_water = vec![0u32; n_pes];
+
+        let a_row_idx = a.row_idx();
+        let a_values = a.values();
+        let a_col_ptr = a.col_ptr();
+
+        for k in 0..b.cols() {
+            pending.fill(0);
+            last_seen.fill(0);
+            issue_until.fill(0);
+            busy.fill(0);
+            owner_busy.fill(0);
+            max_q.fill(0);
+            ready.fill(0);
+            let tuning = tuner.is_active();
+            let collect_rows = tuner.needs_row_counts();
+            if collect_rows {
+                row_tasks.clear();
+                row_tasks.resize(n_rows, 0);
+            }
+            let pe_of_row = map.pe_of_row();
+
+            let mut t: u64 = 0;
+            let mut max_completion: u64 = 0;
+            let mut raw_stalls: u64 = 0;
+
+            for j in 0..a.cols() {
+                let bjk = b.get(j, k);
+                if bjk == 0.0 {
+                    continue;
+                }
+                for idx in a_col_ptr[j]..a_col_ptr[j + 1] {
+                    let row = a_row_idx[idx] as usize;
+                    let product = a_values[idx] * bjk;
+                    let arrival = t / bandwidth;
+                    let owner = pe_of_row[row];
+                    owner_busy[owner as usize] += 1;
+                    let dest = if use_sharing {
+                        sharing.choose(owner, |p| {
+                            let pe = p as usize;
+                            (pending[pe] as u64).saturating_sub(arrival - last_seen[pe]) as usize
+                        })
+                    } else {
+                        owner
+                    } as usize;
+
+                    // Commit the enqueue: lazily drain, then push.
+                    let drained = arrival - last_seen[dest];
+                    pending[dest] = (pending[dest] as u64).saturating_sub(drained) as u32 + 1;
+                    last_seen[dest] = arrival;
+                    if pending[dest] > max_q[dest] {
+                        max_q[dest] = pending[dest];
+                    }
+
+                    // Serial issue with RaW scoreboard. In `Park` mode the
+                    // stall buffer + accumulator forwarding hide the hazard
+                    // (the PE keeps issuing; we only count the event) — the
+                    // paper's design, without which a Nell hub row would
+                    // serialize at T cycles per non-zero and dwarf the
+                    // reported latencies. `Block` models the naive
+                    // head-of-line serialization as an ablation.
+                    let start = (issue_until[dest] + 1).max(arrival);
+                    let r_ready = ready[row];
+                    let (issue_cycle, complete) = if r_ready > start {
+                        raw_stalls += r_ready - start;
+                        match stall_mode {
+                            StallMode::Block => (r_ready, r_ready + lat),
+                            StallMode::Park => (start, start + lat),
+                        }
+                    } else {
+                        (start, start + lat)
+                    };
+                    issue_until[dest] = issue_cycle;
+                    ready[row] = complete;
+                    busy[dest] += 1;
+                    if complete > max_completion {
+                        max_completion = complete;
+                    }
+
+                    col_acc[row] += product;
+                    if collect_rows {
+                        row_tasks[row] += 1;
+                    }
+                    t += 1;
+                }
+            }
+
+            // Barrier: the round ends when the last MAC drains. An
+            // on-chip operand pays its SPMMeM fill once (charged to round
+            // 0); an off-chip operand's per-round streaming cost is
+            // already captured by the throttled arrival rate.
+            //
+            // TQ sizing (the area model's input) uses steady-state rounds
+            // only: the converged configuration is what production TQs are
+            // provisioned for, exactly as the paper's §5.2 depth figures
+            // (tuning-phase overflow is absorbed by backpressure).
+            if !tuning {
+                for (hw, &q) in queue_high_water.iter_mut().zip(&max_q) {
+                    *hw = (*hw).max(q);
+                }
+            }
+            let fill = if k == 0 && on_chip && t > 0 {
+                self.config.memory.fill_cycles(a.nnz())
+            } else {
+                0
+            };
+            let cycles = max_completion + fill;
+            let max_pe_busy = busy.iter().copied().max().unwrap_or(0);
+            let min_pe_busy = busy.iter().copied().min().unwrap_or(0);
+            rounds.push(RoundStats {
+                cycles,
+                tasks: t,
+                busy_cycles: t,
+                max_pe_busy,
+                min_pe_busy,
+                max_queue_depth: max_q.iter().copied().max().unwrap_or(0) as usize,
+                raw_stalls,
+                tuning_active: tuning,
+            });
+
+            // Auto-tuning between rounds.
+            if tuning && t > 0 {
+                let util = t as f64 / (cycles.max(1) as f64 * n_pes as f64);
+                let profile = RoundProfile {
+                    per_pe_busy: owner_busy.clone(),
+                    per_row_tasks: collect_rows.then(|| row_tasks.clone()),
+                };
+                tuner.observe_round(&profile, util, map);
+            }
+
+            // Emit column k and reset the accumulators.
+            for (row, acc) in col_acc.iter_mut().enumerate() {
+                if *acc != 0.0 {
+                    c.set(row, k, *acc);
+                    *acc = 0.0;
+                }
+            }
+        }
+
+        Ok(SpmmOutcome {
+            c,
+            stats: SpmmStats {
+                label: label.to_owned(),
+                n_pes,
+                rounds,
+                queue_high_water,
+            },
+        })
+    }
+
+    fn config(&self) -> &AccelConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Design, MappingKind, SltPolicy};
+    use awb_sparse::{spmm, Coo};
+
+    fn config(n_pes: usize) -> AccelConfig {
+        AccelConfig::builder().n_pes(n_pes).build().unwrap()
+    }
+
+    /// A matrix with one very heavy row block (rows 0..2) and light rest.
+    fn skewed(n: usize, heavy_nnz: usize) -> Csc {
+        let mut coo = Coo::new(n, n);
+        for c in 0..heavy_nnz.min(n) {
+            coo.push(0, c, 1.0).unwrap();
+            coo.push(1, (c + 1) % n, 0.5).unwrap();
+        }
+        for r in 2..n {
+            coo.push(r, (r * 7) % n, 1.0).unwrap();
+        }
+        coo.to_csc()
+    }
+
+    fn dense(rows: usize, cols: usize) -> DenseMatrix {
+        let data: Vec<f32> = (0..rows * cols).map(|i| ((i % 7) as f32) - 3.0).collect();
+        DenseMatrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn functional_output_matches_reference() {
+        let a = skewed(64, 40);
+        let b = dense(64, 8);
+        for design in [
+            Design::Baseline,
+            Design::LocalSharing { hop: 2 },
+            Design::LocalPlusRemote { hop: 2 },
+        ] {
+            let mut engine = FastEngine::new(design.apply(config(8)));
+            let out = engine.run(&a, &b, "t").unwrap();
+            let expect = spmm::csc_times_dense(&a, &b).unwrap();
+            assert!(
+                out.c.approx_eq(&expect, 1e-4),
+                "{design:?}: max diff {}",
+                out.c.max_abs_diff(&expect).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn task_conservation() {
+        let a = skewed(64, 40);
+        let b = dense(64, 8);
+        let mut engine = FastEngine::new(config(8));
+        let out = engine.run(&a, &b, "t").unwrap();
+        assert_eq!(
+            out.stats.total_tasks(),
+            spmm::csc_times_dense_macs(&a, &b) as u64
+        );
+    }
+
+    #[test]
+    fn local_sharing_improves_utilization_on_local_imbalance() {
+        // Adjacent heavy rows: exactly the "local imbalance" case.
+        let a = skewed(64, 48);
+        let b = dense(64, 6);
+        let mut base = FastEngine::new(Design::Baseline.apply(config(16)));
+        let u_base = base.run(&a, &b, "t").unwrap().stats.utilization();
+        let mut ls = FastEngine::new(Design::LocalSharing { hop: 2 }.apply(config(16)));
+        let u_ls = ls.run(&a, &b, "t").unwrap().stats.utilization();
+        assert!(u_ls > u_base, "base {u_base} ls {u_ls}");
+    }
+
+    #[test]
+    fn remote_switching_moves_rows_and_freezes() {
+        let a = skewed(128, 100);
+        let b = dense(128, 16);
+        let mut engine = FastEngine::new(Design::LocalPlusRemote { hop: 1 }.apply(config(16)));
+        let out = engine.run(&a, &b, "t").unwrap();
+        assert!(engine.total_switches() > 0, "no rows switched");
+        assert!(!engine.tuning_active(), "tuner should freeze within 16 rounds");
+        assert!(out.stats.tuning_rounds() > 0);
+        assert!(out.stats.tuning_rounds() < out.stats.rounds.len());
+        assert!(engine.row_map().unwrap().is_consistent());
+    }
+
+    #[test]
+    fn engine_reuse_keeps_tuned_map() {
+        let a = skewed(128, 100);
+        let b = dense(128, 16);
+        let mut engine = FastEngine::new(Design::LocalPlusRemote { hop: 1 }.apply(config(16)));
+        engine.run(&a, &b, "first").unwrap();
+        let switches_after_first = engine.total_switches();
+        let out2 = engine.run(&a, &b, "second").unwrap();
+        // Second run reuses the frozen configuration: no further switching.
+        assert_eq!(engine.total_switches(), switches_after_first);
+        assert_eq!(out2.stats.tuning_rounds(), 0);
+    }
+
+    #[test]
+    fn engine_rejects_different_matrix() {
+        let a = skewed(64, 10);
+        let b = dense(64, 2);
+        let mut engine = FastEngine::new(config(8));
+        engine.run(&a, &b, "t").unwrap();
+        let a2 = skewed(32, 10);
+        let b2 = dense(32, 2);
+        assert!(matches!(
+            engine.run(&a2, &b2, "t"),
+            Err(AccelError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = skewed(16, 4);
+        let b = dense(8, 2);
+        let mut engine = FastEngine::new(config(4));
+        assert!(matches!(engine.run(&a, &b, "t"), Err(AccelError::Shape(_))));
+    }
+
+    #[test]
+    fn sync_plus_ideal_consistent() {
+        let a = skewed(64, 30);
+        let b = dense(64, 4);
+        let mut engine = FastEngine::new(config(8));
+        let stats = engine.run(&a, &b, "t").unwrap().stats;
+        assert_eq!(
+            stats.total_cycles(),
+            stats.ideal_cycles() + stats.sync_cycles()
+        );
+        assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn raw_hazard_stalls_counted_on_hot_row() {
+        // Single row receives every task: maximal RaW pressure.
+        let n = 32;
+        let mut coo = Coo::new(n, n);
+        for c in 0..n {
+            coo.push(0, c, 1.0).unwrap();
+        }
+        let a = coo.to_csc();
+        let b = dense(n, 2);
+        let mut engine = FastEngine::new(config(4));
+        let stats = engine.run(&a, &b, "t").unwrap().stats;
+        assert!(stats.raw_stalls() > 0);
+    }
+
+    #[test]
+    fn block_mode_slower_than_park_under_hazards() {
+        let n = 32;
+        let mut coo = Coo::new(n, n);
+        for c in 0..n {
+            coo.push(0, c, 1.0).unwrap();
+            coo.push(5, c, 1.0).unwrap();
+        }
+        let a = coo.to_csc();
+        let b = dense(n, 2);
+        let mut park_cfg = config(4);
+        park_cfg.stall_mode = StallMode::Park;
+        let mut block_cfg = config(4);
+        block_cfg.stall_mode = StallMode::Block;
+        let park = FastEngine::new(park_cfg).run(&a, &b, "t").unwrap().stats;
+        let block = FastEngine::new(block_cfg).run(&a, &b, "t").unwrap().stats;
+        assert!(block.total_cycles() >= park.total_cycles());
+    }
+
+    #[test]
+    fn degree_aware_slt_runs() {
+        let a = skewed(128, 80);
+        let b = dense(128, 16);
+        let mut cfg = Design::LocalPlusRemote { hop: 1 }.apply(config(16));
+        cfg.slt_policy = SltPolicy::DegreeAware;
+        let mut engine = FastEngine::new(cfg);
+        let out = engine.run(&a, &b, "t").unwrap();
+        let expect = spmm::csc_times_dense(&a, &b).unwrap();
+        assert!(out.c.approx_eq(&expect, 1e-4));
+        assert!(engine.total_switches() > 0);
+    }
+
+    #[test]
+    fn cyclic_mapping_works() {
+        let a = skewed(64, 20);
+        let b = dense(64, 4);
+        let mut cfg = config(8);
+        cfg.mapping = MappingKind::Cyclic;
+        let out = FastEngine::new(cfg).run(&a, &b, "t").unwrap();
+        let expect = spmm::csc_times_dense(&a, &b).unwrap();
+        assert!(out.c.approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = Coo::new(8, 8).to_csc();
+        let b = DenseMatrix::zeros(8, 0);
+        let mut engine = FastEngine::new(config(4));
+        let out = engine.run(&a, &b, "t").unwrap();
+        assert_eq!(out.c.shape(), (8, 0));
+        assert_eq!(out.stats.total_cycles(), 0);
+    }
+
+    #[test]
+    fn queue_depth_shrinks_with_rebalancing() {
+        let a = skewed(256, 200);
+        let b = dense(256, 16);
+        let base = FastEngine::new(Design::Baseline.apply(config(32)))
+            .run(&a, &b, "t")
+            .unwrap()
+            .stats;
+        let tuned = FastEngine::new(Design::LocalPlusRemote { hop: 2 }.apply(config(32)))
+            .run(&a, &b, "t")
+            .unwrap()
+            .stats;
+        assert!(
+            tuned.max_queue_depth() < base.max_queue_depth(),
+            "base {} tuned {}",
+            base.max_queue_depth(),
+            tuned.max_queue_depth()
+        );
+    }
+}
+
+#[cfg(test)]
+mod memory_tests {
+    use super::*;
+    use crate::config::Design;
+    use awb_hw::MemoryModel;
+    use awb_sparse::Coo;
+
+    fn operand(n: usize) -> (Csc, DenseMatrix) {
+        let mut coo = Coo::new(n, n);
+        for r in 0..n {
+            coo.push(r, (r * 3 + 1) % n, 1.0).unwrap();
+            coo.push(r, (r * 7 + 2) % n, 1.0).unwrap();
+        }
+        let b = DenseMatrix::from_vec(n, 4, vec![1.0; n * 4]).unwrap();
+        (coo.to_csc(), b)
+    }
+
+    #[test]
+    fn off_chip_streaming_throttles_delivery() {
+        let (a, b) = operand(256);
+        let mut fast_cfg = Design::Baseline.apply(
+            AccelConfig::builder().n_pes(64).build().unwrap(),
+        );
+        fast_cfg.memory = MemoryModel::unbounded();
+        let mut slow_cfg = fast_cfg.clone();
+        // Tiny on-chip budget + 16 B/cycle: 2 nnz per cycle.
+        slow_cfg.memory = MemoryModel {
+            on_chip_bytes: 16,
+            off_chip_bytes_per_cycle: 16.0,
+        };
+        let fast = FastEngine::new(fast_cfg).run(&a, &b, "t").unwrap().stats;
+        let slow = FastEngine::new(slow_cfg).run(&a, &b, "t").unwrap().stats;
+        assert!(
+            slow.total_cycles() > fast.total_cycles() * 4,
+            "fast {} slow {}",
+            fast.total_cycles(),
+            slow.total_cycles()
+        );
+    }
+
+    #[test]
+    fn on_chip_fill_charged_once() {
+        let (a, b) = operand(128);
+        let mut cfg = Design::Baseline.apply(
+            AccelConfig::builder().n_pes(32).build().unwrap(),
+        );
+        cfg.memory = MemoryModel {
+            on_chip_bytes: 1 << 20,
+            off_chip_bytes_per_cycle: 8.0, // 1 nnz/cycle fill rate
+        };
+        let stats = FastEngine::new(cfg.clone())
+            .run(&a, &b, "t")
+            .unwrap()
+            .stats;
+        let fill = cfg.memory.fill_cycles(a.nnz());
+        assert!(fill > 0);
+        // Round 0 pays the fill; later rounds do not.
+        assert!(stats.rounds[0].cycles > stats.rounds[1].cycles + fill / 2);
+    }
+
+    #[test]
+    fn functional_output_unaffected_by_memory_model() {
+        let (a, b) = operand(64);
+        let mut cfg =
+            Design::Baseline.apply(AccelConfig::builder().n_pes(16).build().unwrap());
+        cfg.memory = MemoryModel {
+            on_chip_bytes: 8,
+            off_chip_bytes_per_cycle: 24.0,
+        };
+        let out = FastEngine::new(cfg).run(&a, &b, "t").unwrap();
+        let expect = awb_sparse::spmm::csc_times_dense(&a, &b).unwrap();
+        assert!(out.c.approx_eq(&expect, 1e-4));
+    }
+}

@@ -1,0 +1,63 @@
+//! SPMM engine implementations.
+//!
+//! Two engines simulate the same architecture at different fidelity/cost
+//! points:
+//!
+//! * [`FastEngine`] — O(1)-per-task queue-dynamics model; used for
+//!   dataset-scale sweeps (millions to billions of MAC tasks),
+//! * [`DetailedEngine`] — cycle-stepped simulation wiring the real
+//!   `awb-hw` components (task queues, Omega network, MAC pipeline with
+//!   RaW scoreboard); used for component-level studies and to validate the
+//!   fast engine.
+//!
+//! Both implement [`SpmmEngine`]: an engine instance embodies one piece of
+//! hardware *tuned to one sparse matrix* — running it again (e.g. `A` in
+//! layer 2 after layer 1) reuses the auto-tuned row map, exactly the reuse
+//! the paper's auto-tuning paradigm is about.
+
+mod detailed;
+mod fast;
+
+pub use detailed::{DetailedEngine, TdqMode};
+pub use fast::FastEngine;
+
+use crate::config::AccelConfig;
+use crate::error::AccelError;
+use crate::stats::SpmmStats;
+use awb_sparse::{Csc, DenseMatrix};
+
+/// Result of simulating one SPMM: the functional product and the cycle
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct SpmmOutcome {
+    /// The computed `C = A × B`.
+    pub c: DenseMatrix,
+    /// Cycle/utilization statistics.
+    pub stats: SpmmStats,
+}
+
+/// A simulated SPMM engine (one per sparse operand).
+pub trait SpmmEngine {
+    /// Simulates `C = A × B`, streaming `B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Shape`] on operand shape mismatch and
+    /// [`AccelError::InvalidConfig`] when the engine is reused with a
+    /// sparse operand of a different row count than it was tuned for.
+    fn run(&mut self, a: &Csc, b: &DenseMatrix, label: &str) -> Result<SpmmOutcome, AccelError>;
+
+    /// The engine's configuration.
+    fn config(&self) -> &AccelConfig;
+}
+
+pub(crate) fn check_shapes(a: &Csc, b: &DenseMatrix) -> Result<(), AccelError> {
+    if a.cols() != b.rows() {
+        return Err(AccelError::Shape(awb_sparse::SparseError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "spmm_engine",
+        }));
+    }
+    Ok(())
+}

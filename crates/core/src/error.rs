@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+use awb_sparse::SparseError;
+
+/// Errors produced by accelerator configuration and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AccelError {
+    /// A configuration field was invalid (message explains which and why).
+    InvalidConfig(String),
+    /// Operand shapes were incompatible with the requested SPMM.
+    Shape(SparseError),
+    /// The functional cross-check between simulated and reference output
+    /// failed — a simulator bug, never a user error.
+    VerificationFailed {
+        /// Which SPMM/label failed.
+        label: String,
+        /// Largest absolute difference observed.
+        max_diff: String,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::InvalidConfig(msg) => write!(f, "invalid accelerator config: {msg}"),
+            AccelError::Shape(e) => write!(f, "operand shape error: {e}"),
+            AccelError::VerificationFailed { label, max_diff } => write!(
+                f,
+                "functional verification failed for {label}: max diff {max_diff}"
+            ),
+        }
+    }
+}
+
+impl Error for AccelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AccelError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for AccelError {
+    fn from(e: SparseError) -> Self {
+        AccelError::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AccelError::InvalidConfig("n_pes must be a power of two".into());
+        assert!(e.to_string().contains("n_pes"));
+        let e: AccelError = SparseError::MalformedFormat("x".into()).into();
+        assert!(e.to_string().contains("shape error"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<AccelError>();
+    }
+}

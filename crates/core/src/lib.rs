@@ -1,0 +1,65 @@
+//! # AWB-GCN accelerator simulator
+//!
+//! The core crate of the reproduction of *AWB-GCN: A Graph Convolutional
+//! Network Accelerator with Runtime Workload Rebalancing* (Geng et al.,
+//! MICRO 2020): a cycle-level model of the paper's SPMM architecture with
+//! its two runtime rebalancing techniques —
+//!
+//! * **dynamic local sharing** ([`LocalSharing`]): per-task diversion to
+//!   under-loaded neighbour PEs within a configurable hop radius, and
+//! * **dynamic remote switching** ([`RemoteSwitcher`]): per-round exchange
+//!   of row ownership between the hotspot and coldspot PEs, sized by the
+//!   paper's Eq. 5 and auto-tuned to convergence ([`AutoTuner`]), after
+//!   which the configuration is frozen and reused.
+//!
+//! Two engines implement the same architecture ([`FastEngine`] for
+//! dataset-scale sweeps, [`DetailedEngine`] for component-accurate
+//! validation), and [`GcnRunner`] chains them into full GCN inference with
+//! inter-SPMM pipelining (paper Fig. 8). [`AreaModel`] and [`EnergyModel`]
+//! reproduce the paper's CLB and inferences-per-kJ reporting.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use awb_accel::{AccelConfig, Design, GcnRunner};
+//! use awb_datasets::{DatasetSpec, GeneratedDataset};
+//! use awb_gcn_model::GcnInput;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(256), 1)?;
+//! let input = GcnInput::from_dataset(&data)?;
+//! let base = AccelConfig::builder().n_pes(64).build()?;
+//!
+//! let baseline = GcnRunner::new(Design::Baseline.apply(base.clone())).run(&input)?;
+//! let awb = GcnRunner::new(Design::LocalPlusRemote { hop: 2 }.apply(base)).run(&input)?;
+//! assert!(awb.stats.avg_utilization() >= baseline.stats.avg_utilization());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod config;
+mod energy;
+mod engine;
+mod error;
+mod gcn_run;
+mod mapping;
+pub mod pipeline;
+mod rebalance;
+mod stats;
+mod sweep;
+pub mod trace;
+
+pub use area::{AreaBreakdown, AreaModel};
+pub use config::{AccelConfig, AccelConfigBuilder, Design, MappingKind, SltPolicy, StallMode};
+pub use energy::{cycles_to_ms, EnergyModel};
+pub use engine::{DetailedEngine, FastEngine, SpmmEngine, SpmmOutcome, TdqMode};
+pub use error::AccelError;
+pub use gcn_run::{verify_against_reference, GcnRunOutcome, GcnRunner};
+pub use mapping::RowMap;
+pub use rebalance::{AutoTuner, LocalSharing, RemoteSwitcher, RoundProfile, SwitchPlan};
+pub use stats::{LayerStats, RoundStats, RunStats, SpmmStats};
+pub use sweep::{sweep_csv, DesignSweep, SweepPoint};

@@ -1,0 +1,234 @@
+use crate::config::MappingKind;
+
+/// The row→PE assignment, i.e. the state the Shuffling Switches apply.
+///
+/// Starts as a static equal partition (paper Fig. 6) and is mutated by
+/// remote switching, which exchanges row ownership between a hotspot and a
+/// coldspot PE. The map always stays a *partition*: every row is owned by
+/// exactly one PE.
+///
+/// # Example
+///
+/// ```
+/// use awb_accel::{MappingKind, RowMap};
+///
+/// let mut map = RowMap::new(8, 4, MappingKind::Block);
+/// assert_eq!(map.pe_of(0), 0);
+/// assert_eq!(map.pe_of(7), 3);
+/// map.exchange(0, 3, &[0], &[7]);
+/// assert_eq!(map.pe_of(0), 3);
+/// assert_eq!(map.pe_of(7), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowMap {
+    n_rows: usize,
+    n_pes: usize,
+    pe_of_row: Vec<u32>,
+    rows_of_pe: Vec<Vec<u32>>,
+    total_exchanged: u64,
+}
+
+impl RowMap {
+    /// Builds the initial static partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pes == 0`.
+    pub fn new(n_rows: usize, n_pes: usize, kind: MappingKind) -> Self {
+        assert!(n_pes > 0, "need at least one PE");
+        let mut pe_of_row = vec![0u32; n_rows];
+        let mut rows_of_pe: Vec<Vec<u32>> = vec![Vec::new(); n_pes];
+        for row in 0..n_rows {
+            let pe = match kind {
+                MappingKind::Block => ((row as u64 * n_pes as u64) / n_rows.max(1) as u64) as u32,
+                MappingKind::Cyclic => (row % n_pes) as u32,
+            };
+            pe_of_row[row] = pe;
+            rows_of_pe[pe as usize].push(row as u32);
+        }
+        RowMap {
+            n_rows,
+            n_pes,
+            pe_of_row,
+            rows_of_pe,
+            total_exchanged: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of PEs.
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    /// Owner PE of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub fn pe_of(&self, row: usize) -> u32 {
+        self.pe_of_row[row]
+    }
+
+    /// Raw owner array (row-indexed) — the hot path of the fast engine.
+    #[inline]
+    pub fn pe_of_row(&self) -> &[u32] {
+        &self.pe_of_row
+    }
+
+    /// Rows currently owned by `pe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn rows_of(&self, pe: usize) -> &[u32] {
+        &self.rows_of_pe[pe]
+    }
+
+    /// Total rows moved by remote switching so far.
+    pub fn total_exchanged(&self) -> u64 {
+        self.total_exchanged
+    }
+
+    /// Exchanges ownership: `from_hot` rows (owned by `hot`) move to
+    /// `cold`, `from_cold` rows (owned by `cold`) move to `hot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any listed row is not owned by the claimed PE — remote
+    /// switching must never corrupt the partition.
+    pub fn exchange(&mut self, hot: u32, cold: u32, from_hot: &[u32], from_cold: &[u32]) {
+        for &row in from_hot {
+            assert_eq!(
+                self.pe_of_row[row as usize], hot,
+                "row {row} is not owned by hotspot PE {hot}"
+            );
+        }
+        for &row in from_cold {
+            assert_eq!(
+                self.pe_of_row[row as usize], cold,
+                "row {row} is not owned by coldspot PE {cold}"
+            );
+        }
+        self.move_rows(hot, cold, from_hot);
+        self.move_rows(cold, hot, from_cold);
+        self.total_exchanged += (from_hot.len() + from_cold.len()) as u64;
+    }
+
+    fn move_rows(&mut self, from: u32, to: u32, rows: &[u32]) {
+        if rows.is_empty() {
+            return;
+        }
+        for &row in rows {
+            self.pe_of_row[row as usize] = to;
+        }
+        let from_list = &mut self.rows_of_pe[from as usize];
+        from_list.retain(|r| !rows.contains(r));
+        self.rows_of_pe[to as usize].extend_from_slice(rows);
+    }
+
+    /// Debug invariant: every row owned by exactly one PE and the per-PE
+    /// lists agree with the row-indexed array.
+    pub fn is_consistent(&self) -> bool {
+        let mut seen = vec![false; self.n_rows];
+        for (pe, rows) in self.rows_of_pe.iter().enumerate() {
+            for &r in rows {
+                if seen[r as usize] || self.pe_of_row[r as usize] != pe as u32 {
+                    return false;
+                }
+                seen[r as usize] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping_contiguous() {
+        let map = RowMap::new(16, 8, MappingKind::Block);
+        // Paper Fig. 6: each two consecutive rows on one PE.
+        for row in 0..16 {
+            assert_eq!(map.pe_of(row), (row / 2) as u32);
+        }
+        assert!(map.is_consistent());
+    }
+
+    #[test]
+    fn cyclic_mapping_strided() {
+        let map = RowMap::new(16, 8, MappingKind::Cyclic);
+        for row in 0..16 {
+            assert_eq!(map.pe_of(row), (row % 8) as u32);
+        }
+        assert!(map.is_consistent());
+    }
+
+    #[test]
+    fn block_mapping_uneven_rows() {
+        let map = RowMap::new(10, 4, MappingKind::Block);
+        // Sizes differ by at most 1 between PEs for block partition.
+        let sizes: Vec<usize> = (0..4).map(|p| map.rows_of(p).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3), "{sizes:?}");
+    }
+
+    #[test]
+    fn fewer_rows_than_pes() {
+        let map = RowMap::new(3, 8, MappingKind::Block);
+        assert!(map.is_consistent());
+        let owned: usize = (0..8).map(|p| map.rows_of(p).len()).sum();
+        assert_eq!(owned, 3);
+    }
+
+    #[test]
+    fn exchange_moves_both_directions() {
+        let mut map = RowMap::new(8, 2, MappingKind::Block);
+        map.exchange(0, 1, &[0, 1], &[7]);
+        assert_eq!(map.pe_of(0), 1);
+        assert_eq!(map.pe_of(1), 1);
+        assert_eq!(map.pe_of(7), 0);
+        assert_eq!(map.rows_of(0).len(), 3);
+        assert_eq!(map.rows_of(1).len(), 5);
+        assert_eq!(map.total_exchanged(), 3);
+        assert!(map.is_consistent());
+    }
+
+    #[test]
+    fn exchange_empty_lists_is_noop() {
+        let mut map = RowMap::new(4, 2, MappingKind::Block);
+        let before = map.clone();
+        map.exchange(0, 1, &[], &[]);
+        assert_eq!(map.pe_of_row(), before.pe_of_row());
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned by hotspot")]
+    fn exchange_wrong_owner_panics() {
+        let mut map = RowMap::new(8, 2, MappingKind::Block);
+        map.exchange(0, 1, &[7], &[]); // row 7 belongs to PE 1
+    }
+
+    #[test]
+    fn repeated_exchanges_stay_consistent() {
+        let mut map = RowMap::new(64, 8, MappingKind::Block);
+        for i in 0..8u32 {
+            let hot = i % 8;
+            let cold = (i + 3) % 8;
+            if hot == cold {
+                continue;
+            }
+            let from_hot: Vec<u32> = map.rows_of(hot as usize).iter().take(2).copied().collect();
+            let from_cold: Vec<u32> = map.rows_of(cold as usize).iter().take(1).copied().collect();
+            map.exchange(hot, cold, &from_hot, &from_cold);
+            assert!(map.is_consistent(), "after exchange {i}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Inter-SPMM coarse-grained pipelining (paper §3.3, Fig. 8).
+//!
+//! "When a column of `(XW)` has finished computing, and `A` is constant and
+//! ready, we can already start the multiplication of `A` with that column,
+//! without the need to wait for the entire `XW`." The paper chains SPMM
+//! engines so that column `k` of stage `s+1` starts once stage `s` has
+//! produced it and stage `s+1` finished its own column `k−1`; besides the
+//! latency win, only a single column of `XW` needs on-chip buffering.
+//!
+//! The same pattern extends to multi-hop layers
+//! `A × (A × (X × W))` — [`pipeline_chain`] handles any depth.
+
+/// Latency of two chained SPMMs with column handoff.
+///
+/// `stage1[k]` / `stage2[k]` are the per-round (per-column) cycle counts of
+/// the producer and consumer. If the consumer has more rounds than the
+/// producer, the extra rounds only wait on their predecessor within the
+/// consumer.
+///
+/// # Example
+///
+/// ```
+/// use awb_accel::pipeline::pipeline_two_stage;
+///
+/// // Producer columns take 10 cycles each; consumer 4: the consumer hides
+/// // entirely behind the producer except its final column.
+/// assert_eq!(pipeline_two_stage(&[10, 10, 10], &[4, 4, 4]), 34);
+/// // Sequential would be 30 + 12 = 42.
+/// ```
+pub fn pipeline_two_stage(stage1: &[u64], stage2: &[u64]) -> u64 {
+    pipeline_chain(&[stage1, stage2])
+}
+
+/// Latency of an arbitrary chain of column-pipelined SPMM stages.
+///
+/// Classic pipeline recurrence:
+/// `end[s][k] = max(end[s−1][k], end[s][k−1]) + cycles[s][k]`.
+/// Stages with fewer rounds than their consumer release the missing
+/// columns at their own completion time.
+///
+/// Returns 0 for an empty chain.
+pub fn pipeline_chain(stages: &[&[u64]]) -> u64 {
+    let mut prev_end: Vec<u64> = match stages.first() {
+        None => return 0,
+        Some(first) => {
+            let mut acc = 0u64;
+            first
+                .iter()
+                .map(|&c| {
+                    acc += c;
+                    acc
+                })
+                .collect()
+        }
+    };
+    // The chain is not complete before every stage has drained — relevant
+    // when a consumer has fewer rounds than its producer.
+    let mut chain_total = prev_end.last().copied().unwrap_or(0);
+    for stage in &stages[1..] {
+        let producer_total = prev_end.last().copied().unwrap_or(0);
+        let mut ends = Vec::with_capacity(stage.len());
+        let mut last_end = 0u64;
+        for (k, &cycles) in stage.iter().enumerate() {
+            let available = prev_end.get(k).copied().unwrap_or(producer_total);
+            let start = available.max(last_end);
+            last_end = start + cycles;
+            ends.push(last_end);
+        }
+        chain_total = chain_total.max(last_end);
+        prev_end = ends;
+    }
+    chain_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_chain_is_zero() {
+        assert_eq!(pipeline_chain(&[]), 0);
+        assert_eq!(pipeline_two_stage(&[], &[]), 0);
+    }
+
+    #[test]
+    fn single_stage_is_sum() {
+        assert_eq!(pipeline_chain(&[&[3, 4, 5]]), 12);
+    }
+
+    #[test]
+    fn consumer_hides_behind_slow_producer() {
+        // Last consumer column starts at producer total (30) and adds 4.
+        assert_eq!(pipeline_two_stage(&[10, 10, 10], &[4, 4, 4]), 34);
+    }
+
+    #[test]
+    fn producer_hides_behind_slow_consumer() {
+        // Consumer dominates: first column waits for producer col 0 (2),
+        // then runs back-to-back: 2 + 3*10 = 32.
+        assert_eq!(pipeline_two_stage(&[2, 2, 2], &[10, 10, 10]), 32);
+    }
+
+    #[test]
+    fn pipelined_never_worse_than_max_stage_nor_better_than_critical_path() {
+        let s1 = [7u64, 1, 9, 3];
+        let s2 = [2u64, 8, 2, 6];
+        let total = pipeline_two_stage(&s1, &s2);
+        let sum1: u64 = s1.iter().sum();
+        let sum2: u64 = s2.iter().sum();
+        assert!(total >= sum1.max(sum2));
+        assert!(total <= sum1 + sum2);
+        // Lower bound: first producer column + all consumer work.
+        assert!(total >= s1[0] + sum2);
+    }
+
+    #[test]
+    fn three_stage_chain() {
+        // A x (A x (X x W)): three stages of equal rounds.
+        let total = pipeline_chain(&[&[5, 5], &[5, 5], &[5, 5]]);
+        // Fill 2 stages (10) then drain: 5+5+5 +5... recurrence:
+        // s0 ends: 5,10; s1 ends: 10,15; s2 ends: 15,20.
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn mismatched_round_counts() {
+        // Producer has 2 columns, consumer 4: extra consumer columns only
+        // chain on themselves after the producer completes.
+        let total = pipeline_two_stage(&[10, 10], &[1, 1, 1, 1]);
+        // ends1: 10, 20. consumer: c0 10->11, c1 20->21, c2 max(20,21)+1=22, c3 23.
+        assert_eq!(total, 23);
+    }
+
+    #[test]
+    fn zero_cycle_rounds_pass_through() {
+        assert_eq!(pipeline_two_stage(&[0, 0], &[0, 0]), 0);
+        assert_eq!(pipeline_two_stage(&[5, 0], &[0, 5]), 10);
+    }
+}

@@ -1,0 +1,152 @@
+//! Dynamic local sharing (paper §4.1).
+//!
+//! Before a task enters its owner PE's queue, the distributor compares the
+//! pending-task counters of the owner and its neighbours within the hop
+//! radius and forwards the task to the least-loaded candidate. Results are
+//! returned to the owner's accumulator afterwards (the AGU computes the
+//! return address), so sharing is invisible to correctness.
+
+/// Local-sharing decision logic for a given hop radius.
+///
+/// A radius of 0 disables sharing (baseline behaviour). Larger radii
+/// rebalance better at the cost of wiring/area — the paper's Designs A–D
+/// use 1 and 2 hops (2 and 3 for Nell).
+///
+/// # Example
+///
+/// ```
+/// use awb_accel::LocalSharing;
+///
+/// let sharing = LocalSharing::new(1, 8);
+/// // Owner PE 3 is loaded; neighbour 2 is empty.
+/// let lens = [5usize, 5, 0, 9, 5, 5, 5, 5];
+/// assert_eq!(sharing.choose(3, |pe| lens[pe as usize]), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalSharing {
+    hop: usize,
+    n_pes: usize,
+}
+
+impl LocalSharing {
+    /// Creates the decision logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pes == 0` or `hop >= n_pes`.
+    pub fn new(hop: usize, n_pes: usize) -> Self {
+        assert!(n_pes > 0, "need at least one PE");
+        assert!(hop < n_pes, "hop must be smaller than the PE count");
+        LocalSharing { hop, n_pes }
+    }
+
+    /// Sharing radius.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Chooses the destination PE for a task owned by `owner`, given a
+    /// pending-task length oracle.
+    ///
+    /// Ties are broken toward the owner first, then toward the nearer
+    /// neighbour (sharing costs a return transfer, so it is only worth it
+    /// when it strictly helps).
+    #[inline]
+    pub fn choose<F: Fn(u32) -> usize>(&self, owner: u32, queue_len: F) -> u32 {
+        if self.hop == 0 {
+            return owner;
+        }
+        let lo = (owner as usize).saturating_sub(self.hop);
+        let hi = (owner as usize + self.hop).min(self.n_pes - 1);
+        let mut best = owner;
+        let mut best_len = queue_len(owner);
+        let mut best_dist = 0usize;
+        for pe in lo..=hi {
+            let pe = pe as u32;
+            if pe == owner {
+                continue;
+            }
+            let len = queue_len(pe);
+            let dist = pe.abs_diff(owner) as usize;
+            if len < best_len || (len == best_len && dist < best_dist) {
+                best = pe;
+                best_len = len;
+                best_dist = dist;
+            }
+        }
+        best
+    }
+
+    /// The candidate window `[owner − hop, owner + hop]` clamped to the
+    /// array bounds (used by tests and the detailed engine's final-stage
+    /// redirect).
+    pub fn window(&self, owner: u32) -> std::ops::RangeInclusive<u32> {
+        let lo = (owner as usize).saturating_sub(self.hop) as u32;
+        let hi = ((owner as usize + self.hop).min(self.n_pes - 1)) as u32;
+        lo..=hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_hop_always_owner() {
+        let s = LocalSharing::new(0, 4);
+        assert_eq!(s.choose(2, |_| 0), 2);
+        assert_eq!(s.choose(2, |p| if p == 2 { 100 } else { 0 }), 2);
+    }
+
+    #[test]
+    fn prefers_owner_on_tie() {
+        let s = LocalSharing::new(2, 8);
+        assert_eq!(s.choose(4, |_| 3), 4);
+    }
+
+    #[test]
+    fn picks_least_loaded_in_window() {
+        let s = LocalSharing::new(2, 8);
+        let lens = [9usize, 9, 7, 9, 9, 1, 9, 0];
+        // Owner 4: window 2..=6; PE 5 has 1 (PE 7 is outside).
+        assert_eq!(s.choose(4, |p| lens[p as usize]), 5);
+    }
+
+    #[test]
+    fn window_clamps_at_borders() {
+        let s = LocalSharing::new(2, 8);
+        assert_eq!(s.window(0), 0..=2);
+        assert_eq!(s.window(7), 5..=7);
+        assert_eq!(s.window(4), 2..=6);
+    }
+
+    #[test]
+    fn border_pe_shares_inward() {
+        let s = LocalSharing::new(1, 4);
+        let lens = [5usize, 0, 9, 9];
+        assert_eq!(s.choose(0, |p| lens[p as usize]), 1);
+    }
+
+    #[test]
+    fn nearer_neighbour_wins_tie_among_neighbours() {
+        let s = LocalSharing::new(2, 8);
+        // Owner 4 loaded; PEs 3 and 2 both at 1: pick 3 (closer).
+        let lens = [9usize, 9, 1, 1, 9, 9, 9, 9];
+        assert_eq!(s.choose(4, |p| lens[p as usize]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop must be smaller")]
+    fn hop_too_large_panics() {
+        LocalSharing::new(4, 4);
+    }
+
+    #[test]
+    fn larger_hop_reaches_further() {
+        let lens = [0usize, 9, 9, 9, 9, 9, 9, 9];
+        assert_eq!(LocalSharing::new(1, 8).choose(4, |p| lens[p as usize]), 4);
+        assert_eq!(LocalSharing::new(3, 8).choose(4, |p| lens[p as usize]), 4);
+        // hop 4 reaches PE 0.
+        assert_eq!(LocalSharing::new(4, 8).choose(4, |p| lens[p as usize]), 0);
+    }
+}

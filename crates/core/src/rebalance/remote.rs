@@ -1,0 +1,401 @@
+//! Dynamic remote switching (paper §4.2).
+//!
+//! Per round (one column of the dense operand), the PE Status Monitor
+//! identifies the most over-utilized PE (*hotspot* — the last to empty its
+//! queues) and the most under-utilized PE (*coldspot* — the first). The
+//! Utilization Gap Tracker then sizes the exchange using the paper's Eq. 5:
+//!
+//! ```text
+//! N_i = 0                                (i = 1, profiling round)
+//! N_i = N_{i-1} + G_i / G_1 × (R / 2)    (i > 1)
+//! ```
+//!
+//! where `G_i` is the hotspot/coldspot workload gap in round `i`, `G_1` the
+//! gap when the tuple was first tracked, and `R` the equal-partition row
+//! count per PE. The Shuffling LUT selects which rows to interchange and
+//! the Shuffling Switches apply the new map next round. Several tuples are
+//! tracked concurrently (the tracking window; paper uses 2).
+
+use crate::config::SltPolicy;
+use crate::mapping::RowMap;
+
+/// Per-round observation handed to the switcher: what the PESM and the
+/// per-row task counters saw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundProfile {
+    /// Busy cycles (≈ executed tasks) per PE this round.
+    pub per_pe_busy: Vec<u64>,
+    /// Tasks per row this round (needed by [`SltPolicy::DegreeAware`];
+    /// `None` under [`SltPolicy::Sequential`]).
+    pub per_row_tasks: Option<Vec<u32>>,
+}
+
+/// A planned exchange between one hotspot/coldspot pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchPlan {
+    /// Over-utilized PE.
+    pub hot: u32,
+    /// Under-utilized PE.
+    pub cold: u32,
+    /// Rows leaving the hotspot.
+    pub from_hot: Vec<u32>,
+    /// Rows leaving the coldspot.
+    pub from_cold: Vec<u32>,
+}
+
+impl SwitchPlan {
+    /// Applies the exchange to the row map.
+    pub fn apply(&self, map: &mut RowMap) {
+        map.exchange(self.hot, self.cold, &self.from_hot, &self.from_cold);
+    }
+}
+
+/// One tracked hotspot/coldspot tuple and its Eq. 5 state.
+#[derive(Debug, Clone, PartialEq)]
+struct TrackedTuple {
+    hot: u32,
+    cold: u32,
+    /// Gap when first tracked (`G_1`).
+    g1: f64,
+    /// Cumulative rows to have been switched after the previous update
+    /// (`N_{i-1}`).
+    n_prev: f64,
+    /// Updates applied so far.
+    updates: usize,
+}
+
+/// The remote-switching controller: PESM + Utilization Gap Tracker +
+/// Shuffling LUT.
+///
+/// # Example
+///
+/// ```
+/// use awb_accel::{MappingKind, RemoteSwitcher, RowMap, RoundProfile, SltPolicy};
+///
+/// let mut map = RowMap::new(16, 4, MappingKind::Block);
+/// let mut sw = RemoteSwitcher::new(2, SltPolicy::Sequential, 4);
+/// // Round 1: PE 0 overloaded — tuple gets tracked, no switch yet (Eq. 5).
+/// let profile = RoundProfile { per_pe_busy: vec![100, 10, 10, 4], per_row_tasks: None };
+/// assert!(sw.plan(&profile, &map).is_empty());
+/// // Round 2: gap persists — rows move.
+/// let plans = sw.plan(&profile, &map);
+/// assert_eq!(plans.len(), 1);
+/// for p in &plans { p.apply(&mut map); }
+/// assert!(map.total_exchanged() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteSwitcher {
+    tracking_window: usize,
+    policy: SltPolicy,
+    /// Equal-partition rows per PE (`R` in Eq. 5).
+    rows_per_pe: usize,
+    tracked: Vec<TrackedTuple>,
+    total_switches: u64,
+}
+
+impl RemoteSwitcher {
+    /// Creates a switcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tracking_window == 0` or `rows_per_pe == 0`.
+    pub fn new(tracking_window: usize, policy: SltPolicy, rows_per_pe: usize) -> Self {
+        assert!(tracking_window > 0, "tracking window must be >= 1");
+        assert!(rows_per_pe > 0, "rows_per_pe must be >= 1");
+        RemoteSwitcher {
+            tracking_window,
+            policy,
+            rows_per_pe,
+            tracked: Vec::new(),
+            total_switches: 0,
+        }
+    }
+
+    /// Total rows exchanged so far.
+    pub fn total_switches(&self) -> u64 {
+        self.total_switches
+    }
+
+    /// Number of tuples currently tracked.
+    pub fn tracked_tuples(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// Observes a finished round and plans the exchanges for the next one.
+    ///
+    /// Implements the PESM vote (hotspot = max busy, coldspot = min busy),
+    /// tuple lifecycle (new tuple per round, conflict-free, bounded by the
+    /// tracking window, retired after `tracking_window` updates), and the
+    /// Eq. 5 exchange sizing.
+    pub fn plan(&mut self, profile: &RoundProfile, map: &RowMap) -> Vec<SwitchPlan> {
+        let busy = &profile.per_pe_busy;
+        if busy.len() < 2 {
+            return Vec::new();
+        }
+        // PESM vote.
+        let hot = argmax(busy) as u32;
+        let cold = argmin(busy) as u32;
+        let gap = busy[hot as usize] as f64 - busy[cold as usize] as f64;
+        // Track the new tuple if it is distinct, meaningful, and
+        // conflict-free with live tuples.
+        let conflicts = |t: &TrackedTuple, pe: u32| t.hot == pe || t.cold == pe;
+        if hot != cold
+            && gap > 0.0
+            && self.tracked.len() < self.tracking_window
+            && !self
+                .tracked
+                .iter()
+                .any(|t| conflicts(t, hot) || conflicts(t, cold))
+        {
+            self.tracked.push(TrackedTuple {
+                hot,
+                cold,
+                g1: gap,
+                n_prev: 0.0,
+                updates: 0,
+            });
+        }
+        // Update every live tuple per Eq. 5 and emit plans.
+        let mut plans = Vec::new();
+        let rows_per_pe = self.rows_per_pe;
+        let policy = self.policy;
+        for tuple in &mut self.tracked {
+            tuple.updates += 1;
+            if tuple.updates == 1 {
+                // i = 1: N_1 = 0, profile only.
+                continue;
+            }
+            let g_i = busy[tuple.hot as usize] as f64 - busy[tuple.cold as usize] as f64;
+            if g_i <= 0.0 || tuple.g1 <= 0.0 {
+                continue; // overshoot or degenerate: stop moving this pair
+            }
+            let n_i = tuple.n_prev + g_i / tuple.g1 * (rows_per_pe as f64 / 2.0);
+            let delta = (n_i.round() as usize).saturating_sub(tuple.n_prev.round() as usize);
+            tuple.n_prev = n_i;
+            if delta == 0 {
+                continue;
+            }
+            if let Some(plan) = build_plan(tuple.hot, tuple.cold, delta, g_i, policy, profile, map) {
+                self.total_switches += (plan.from_hot.len() + plan.from_cold.len()) as u64;
+                plans.push(plan);
+            }
+        }
+        // Retire tuples that used up their tracking slots.
+        let window = self.tracking_window;
+        self.tracked.retain(|t| t.updates < window + 1);
+        plans
+    }
+}
+
+/// The Shuffling LUT: selects which rows each side contributes.
+fn build_plan(
+    hot: u32,
+    cold: u32,
+    delta: usize,
+    gap: f64,
+    policy: SltPolicy,
+    profile: &RoundProfile,
+    map: &RowMap,
+) -> Option<SwitchPlan> {
+    let hot_rows = map.rows_of(hot as usize);
+    let cold_rows = map.rows_of(cold as usize);
+    if hot_rows.is_empty() {
+        return None;
+    }
+    // Never strip the hotspot bare: leave at least one row.
+    let take_hot = delta.min(hot_rows.len().saturating_sub(1).max(1));
+    let take_cold = delta.min(cold_rows.len());
+    let (from_hot, from_cold) = match policy {
+        SltPolicy::Sequential => (
+            hot_rows.iter().take(take_hot).copied().collect::<Vec<_>>(),
+            cold_rows.iter().take(take_cold).copied().collect::<Vec<_>>(),
+        ),
+        SltPolicy::DegreeAware => {
+            let counts = profile.per_row_tasks.as_deref();
+            let weight = |row: u32| -> u32 {
+                counts.map_or(0, |c| c.get(row as usize).copied().unwrap_or(0))
+            };
+            let mut hot_sorted: Vec<u32> = hot_rows.to_vec();
+            hot_sorted.sort_unstable_by_key(|&r| std::cmp::Reverse(weight(r)));
+            // Move the heaviest rows until roughly half the observed gap
+            // has moved — the balancing-optimal budget. Eq. 5's row count
+            // caps the selection so the two policies stay comparable.
+            let budget = (gap / 2.0).max(1.0);
+            let mut moved = 0.0;
+            let mut from_hot: Vec<u32> = Vec::new();
+            for row in hot_sorted.into_iter().take(take_hot) {
+                if moved >= budget && !from_hot.is_empty() {
+                    break;
+                }
+                moved += f64::from(weight(row));
+                from_hot.push(row);
+            }
+            let mut cold_sorted: Vec<u32> = cold_rows.to_vec();
+            cold_sorted.sort_unstable_by_key(|&r| weight(r));
+            let take_cold = from_hot.len().min(cold_sorted.len());
+            (from_hot, cold_sorted.into_iter().take(take_cold).collect())
+        }
+    };
+    if from_hot.is_empty() && from_cold.is_empty() {
+        return None;
+    }
+    Some(SwitchPlan {
+        hot,
+        cold,
+        from_hot,
+        from_cold,
+    })
+}
+
+fn argmax(v: &[u64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by_key(|&(_, &x)| x)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn argmin(v: &[u64]) -> usize {
+    v.iter()
+        .enumerate()
+        .min_by_key(|&(_, &x)| x)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MappingKind;
+
+    fn profile(busy: Vec<u64>) -> RoundProfile {
+        RoundProfile {
+            per_pe_busy: busy,
+            per_row_tasks: None,
+        }
+    }
+
+    #[test]
+    fn first_round_profiles_without_switching() {
+        let map = RowMap::new(16, 4, MappingKind::Block);
+        let mut sw = RemoteSwitcher::new(2, SltPolicy::Sequential, 4);
+        let plans = sw.plan(&profile(vec![100, 10, 10, 0]), &map);
+        assert!(plans.is_empty());
+        assert_eq!(sw.tracked_tuples(), 1);
+    }
+
+    #[test]
+    fn second_round_switches_per_eq5() {
+        let mut map = RowMap::new(16, 4, MappingKind::Block);
+        let mut sw = RemoteSwitcher::new(2, SltPolicy::Sequential, 4);
+        sw.plan(&profile(vec![100, 10, 10, 0]), &map);
+        let plans = sw.plan(&profile(vec![100, 10, 10, 0]), &map);
+        assert_eq!(plans.len(), 1);
+        let p = &plans[0];
+        assert_eq!(p.hot, 0);
+        assert_eq!(p.cold, 3);
+        // G_2 = G_1 -> N_2 = R/2 = 2 rows.
+        assert_eq!(p.from_hot.len(), 2);
+        p.apply(&mut map);
+        assert!(map.is_consistent());
+        assert_eq!(sw.total_switches(), p.from_hot.len() as u64 + p.from_cold.len() as u64);
+    }
+
+    #[test]
+    fn shrinking_gap_shrinks_exchange() {
+        let map = RowMap::new(64, 4, MappingKind::Block);
+        let mut sw = RemoteSwitcher::new(3, SltPolicy::Sequential, 16);
+        sw.plan(&profile(vec![800, 100, 100, 0]), &map);
+        let big = sw.plan(&profile(vec![800, 100, 100, 0]), &map);
+        let big_n = big[0].from_hot.len();
+        // New switcher, same first gap but much smaller second gap.
+        let mut sw2 = RemoteSwitcher::new(3, SltPolicy::Sequential, 16);
+        sw2.plan(&profile(vec![800, 100, 100, 0]), &map);
+        let small = sw2.plan(&profile(vec![180, 100, 100, 0]), &map);
+        let small_n = small[0].from_hot.len();
+        assert!(small_n < big_n, "small {small_n} big {big_n}");
+    }
+
+    #[test]
+    fn overshoot_stops_switching() {
+        let map = RowMap::new(16, 4, MappingKind::Block);
+        let mut sw = RemoteSwitcher::new(2, SltPolicy::Sequential, 4);
+        sw.plan(&profile(vec![100, 10, 10, 0]), &map);
+        // Gap inverted: hotspot became the coldspot — no plan for tuple.
+        let plans = sw.plan(&profile(vec![0, 10, 10, 100]), &map);
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn tracking_window_bounds_concurrent_tuples() {
+        let map = RowMap::new(64, 8, MappingKind::Block);
+        let mut sw = RemoteSwitcher::new(1, SltPolicy::Sequential, 8);
+        sw.plan(&profile(vec![100, 0, 50, 50, 50, 50, 50, 50]), &map);
+        assert_eq!(sw.tracked_tuples(), 1);
+        // A different hot/cold pair appears; window is full.
+        sw.plan(&profile(vec![50, 50, 100, 0, 50, 50, 50, 50]), &map);
+        assert!(sw.tracked_tuples() <= 1);
+    }
+
+    #[test]
+    fn conflicting_tuples_not_double_tracked() {
+        let map = RowMap::new(64, 8, MappingKind::Block);
+        let mut sw = RemoteSwitcher::new(4, SltPolicy::Sequential, 8);
+        sw.plan(&profile(vec![100, 0, 50, 50, 50, 50, 50, 50]), &map);
+        // Same hotspot with a new coldspot: PE 0 already tracked.
+        sw.plan(&profile(vec![100, 50, 50, 0, 50, 50, 50, 50]), &map);
+        assert_eq!(sw.tracked_tuples(), 1);
+    }
+
+    #[test]
+    fn tuples_retire_after_window_updates() {
+        let map = RowMap::new(16, 4, MappingKind::Block);
+        let mut sw = RemoteSwitcher::new(2, SltPolicy::Sequential, 4);
+        for _ in 0..4 {
+            sw.plan(&profile(vec![100, 10, 10, 0]), &map);
+        }
+        // window=2: tuple lives for window+1 updates then retires, letting
+        // a fresh tuple be tracked.
+        assert!(sw.tracked_tuples() <= 2);
+    }
+
+    #[test]
+    fn degree_aware_moves_heaviest_rows() {
+        let mut map = RowMap::new(8, 2, MappingKind::Block);
+        let mut sw = RemoteSwitcher::new(2, SltPolicy::DegreeAware, 4);
+        // Rows 0..4 on PE 0; row 2 is the heavy one.
+        let mut per_row = vec![1u32; 8];
+        per_row[2] = 50;
+        let prof = RoundProfile {
+            per_pe_busy: vec![53, 4],
+            per_row_tasks: Some(per_row),
+        };
+        sw.plan(&prof, &map);
+        let plans = sw.plan(&prof, &map);
+        assert_eq!(plans.len(), 1);
+        assert!(plans[0].from_hot.contains(&2), "{:?}", plans[0].from_hot);
+        plans[0].apply(&mut map);
+        assert_eq!(map.pe_of(2), 1);
+    }
+
+    #[test]
+    fn hotspot_never_stripped_bare() {
+        let map = RowMap::new(4, 4, MappingKind::Block); // 1 row per PE
+        let mut sw = RemoteSwitcher::new(2, SltPolicy::Sequential, 1);
+        sw.plan(&profile(vec![100, 10, 10, 0]), &map);
+        let plans = sw.plan(&profile(vec![100, 10, 10, 0]), &map);
+        // take_hot is capped at max(len-1, 1) = 1 here; the plan may move
+        // the single row — but never requests more rows than exist.
+        for p in &plans {
+            assert!(p.from_hot.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_profiles_are_safe() {
+        let map = RowMap::new(8, 2, MappingKind::Block);
+        let mut sw = RemoteSwitcher::new(2, SltPolicy::Sequential, 4);
+        assert!(sw.plan(&profile(vec![5]), &map).is_empty()); // single PE
+        assert!(sw.plan(&profile(vec![5, 5]), &map).is_empty()); // no gap
+    }
+}

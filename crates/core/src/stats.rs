@@ -1,0 +1,303 @@
+//! Simulation statistics: the raw material of the paper's Figs. 14/15.
+
+/// Statistics of one *round* — the processing of one column of the dense
+/// operand `B` (paper §4: rebalancing decisions are made per round).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundStats {
+    /// Cycles from first dispatch to barrier (including pipeline drain).
+    pub cycles: u64,
+    /// Total MAC tasks executed this round.
+    pub tasks: u64,
+    /// Sum of busy cycles over all PEs.
+    pub busy_cycles: u64,
+    /// Busiest single PE's busy cycles (the hotspot load).
+    pub max_pe_busy: u64,
+    /// Least-busy single PE's busy cycles (the coldspot load).
+    pub min_pe_busy: u64,
+    /// Largest task-queue occupancy observed on any PE this round.
+    pub max_queue_depth: usize,
+    /// RaW-hazard stall cycles summed over PEs.
+    pub raw_stalls: u64,
+    /// Whether the auto-tuner was still adjusting during this round.
+    pub tuning_active: bool,
+}
+
+impl RoundStats {
+    /// PE utilization for this round (`busy / (cycles × n_pes)`).
+    pub fn utilization(&self, n_pes: usize) -> f64 {
+        if self.cycles == 0 || n_pes == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / (self.cycles as f64 * n_pes as f64)
+        }
+    }
+
+    /// Ideal cycles for this round under perfect balance.
+    pub fn ideal_cycles(&self, n_pes: usize) -> u64 {
+        self.tasks.div_ceil(n_pes as u64)
+    }
+}
+
+/// Aggregated statistics of one SPMM operation (all rounds/columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmmStats {
+    /// Human-readable label, e.g. `"L1:A*(XW)"`.
+    pub label: String,
+    /// PE count used.
+    pub n_pes: usize,
+    /// Per-round statistics in execution order.
+    pub rounds: Vec<RoundStats>,
+    /// Per-PE maximum queue occupancy over the whole SPMM — the required
+    /// TQ depth per PE, which the paper's area results size TQ buffers by
+    /// (§5.2). Empty when the engine did not track it.
+    pub queue_high_water: Vec<u32>,
+}
+
+impl SpmmStats {
+    /// Total cycles across rounds (sequential within one SPMM).
+    pub fn total_cycles(&self) -> u64 {
+        self.rounds.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Total MAC tasks.
+    pub fn total_tasks(&self) -> u64 {
+        self.rounds.iter().map(|r| r.tasks).sum()
+    }
+
+    /// Total busy cycles over all PEs.
+    pub fn total_busy(&self) -> u64 {
+        self.rounds.iter().map(|r| r.busy_cycles).sum()
+    }
+
+    /// Cycles under perfect balance — the non-shaded "Ideal" bars of the
+    /// paper's Fig. 14 F-J.
+    pub fn ideal_cycles(&self) -> u64 {
+        self.rounds.iter().map(|r| r.ideal_cycles(self.n_pes)).sum()
+    }
+
+    /// Barrier-waiting cycles — the shaded "Sync" portion of Fig. 14 F-J
+    /// (`actual − ideal`).
+    pub fn sync_cycles(&self) -> u64 {
+        self.total_cycles().saturating_sub(self.ideal_cycles())
+    }
+
+    /// Average PE utilization over the whole SPMM.
+    pub fn utilization(&self) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles == 0 || self.n_pes == 0 {
+            0.0
+        } else {
+            self.total_busy() as f64 / (cycles as f64 * self.n_pes as f64)
+        }
+    }
+
+    /// Largest queue depth any PE needed during any round — what the paper
+    /// quotes as "TQ depth" (§5.2: Nell layer-1 baseline needs 65 128,
+    /// Design D only 2 675).
+    pub fn max_queue_depth(&self) -> usize {
+        self.rounds.iter().map(|r| r.max_queue_depth).max().unwrap_or(0)
+    }
+
+    /// Total TQ slots needed across the PE array (sum of per-PE high-water
+    /// marks) — the quantity the area model charges for.
+    pub fn total_queue_slots(&self) -> usize {
+        if self.queue_high_water.is_empty() {
+            // Conservative fallback: every PE sized to the global max.
+            self.max_queue_depth() * self.n_pes
+        } else {
+            self.queue_high_water.iter().map(|&d| d as usize).sum()
+        }
+    }
+
+    /// Number of rounds before the auto-tuner froze (0 when tuning never
+    /// ran).
+    pub fn tuning_rounds(&self) -> usize {
+        self.rounds.iter().filter(|r| r.tuning_active).count()
+    }
+
+    /// Per-round cycle vector (used by the inter-SPMM pipeline model).
+    pub fn round_cycles(&self) -> Vec<u64> {
+        self.rounds.iter().map(|r| r.cycles).collect()
+    }
+
+    /// Total RaW stall cycles.
+    pub fn raw_stalls(&self) -> u64 {
+        self.rounds.iter().map(|r| r.raw_stalls).sum()
+    }
+}
+
+/// Statistics of one GCN layer (two chained SPMMs, possibly pipelined).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStats {
+    /// Stats of `X × W`.
+    pub xw: SpmmStats,
+    /// Stats of `A × (XW)`.
+    pub a_xw: SpmmStats,
+    /// Layer latency in cycles after column-level pipelining of the two
+    /// SPMMs (equals the sum when pipelining is disabled).
+    pub pipelined_cycles: u64,
+}
+
+impl LayerStats {
+    /// Sequential (non-overlapped) layer cycles.
+    pub fn sequential_cycles(&self) -> u64 {
+        self.xw.total_cycles() + self.a_xw.total_cycles()
+    }
+
+    /// Cycles saved by inter-SPMM pipelining.
+    pub fn pipeline_savings(&self) -> u64 {
+        self.sequential_cycles().saturating_sub(self.pipelined_cycles)
+    }
+}
+
+/// Statistics of a full GCN inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Per-layer statistics.
+    pub layers: Vec<LayerStats>,
+    /// PE count.
+    pub n_pes: usize,
+}
+
+impl RunStats {
+    /// End-to-end inference cycles (layers execute sequentially).
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.pipelined_cycles).sum()
+    }
+
+    /// Total MAC tasks over all SPMMs.
+    pub fn total_tasks(&self) -> u64 {
+        self.spmms().iter().map(|s| s.total_tasks()).sum()
+    }
+
+    /// Overall average PE utilization, weighted by SPMM duration (the line
+    /// series of Fig. 14 A-E).
+    pub fn avg_utilization(&self) -> f64 {
+        let (busy, denom) = self.spmms().iter().fold((0u64, 0u64), |(b, d), s| {
+            (b + s.total_busy(), d + s.total_cycles() * s.n_pes as u64)
+        });
+        if denom == 0 {
+            0.0
+        } else {
+            busy as f64 / denom as f64
+        }
+    }
+
+    /// The latency lower bound at full utilization marked in Fig. 14 A-E.
+    pub fn ideal_cycles(&self) -> u64 {
+        self.spmms().iter().map(|s| s.ideal_cycles()).sum()
+    }
+
+    /// Flat list of the SPMM stats in execution order
+    /// (`L1:XW, L1:AXW, L2:XW, L2:AXW, …`).
+    pub fn spmms(&self) -> Vec<&SpmmStats> {
+        self.layers
+            .iter()
+            .flat_map(|l| [&l.xw, &l.a_xw])
+            .collect()
+    }
+
+    /// Largest task-queue depth needed anywhere in the run.
+    pub fn max_queue_depth(&self) -> usize {
+        self.spmms()
+            .iter()
+            .map(|s| s.max_queue_depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Latency in milliseconds at the given clock.
+    pub fn latency_ms(&self, freq_mhz: f64) -> f64 {
+        self.total_cycles() as f64 / (freq_mhz * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(cycles: u64, tasks: u64, busy: u64) -> RoundStats {
+        RoundStats {
+            cycles,
+            tasks,
+            busy_cycles: busy,
+            max_pe_busy: busy,
+            min_pe_busy: 0,
+            max_queue_depth: 3,
+            raw_stalls: 0,
+            tuning_active: false,
+        }
+    }
+
+    #[test]
+    fn round_utilization() {
+        let r = round(10, 40, 40);
+        assert!((r.utilization(8) - 0.5).abs() < 1e-12);
+        assert_eq!(r.ideal_cycles(8), 5);
+        assert_eq!(round(0, 0, 0).utilization(8), 0.0);
+    }
+
+    #[test]
+    fn spmm_aggregates() {
+        let s = SpmmStats {
+            label: "t".into(),
+            n_pes: 4,
+            rounds: vec![round(10, 20, 20), round(6, 12, 12)],
+            queue_high_water: Vec::new(),
+        };
+        assert_eq!(s.total_cycles(), 16);
+        assert_eq!(s.total_tasks(), 32);
+        assert_eq!(s.ideal_cycles(), 5 + 3);
+        assert_eq!(s.sync_cycles(), 8);
+        assert!((s.utilization() - 32.0 / 64.0).abs() < 1e-12);
+        assert_eq!(s.max_queue_depth(), 3);
+    }
+
+    #[test]
+    fn layer_pipeline_savings() {
+        let s1 = SpmmStats {
+            label: "xw".into(),
+            n_pes: 4,
+            rounds: vec![round(10, 1, 1)],
+            queue_high_water: Vec::new(),
+        };
+        let s2 = SpmmStats {
+            label: "axw".into(),
+            n_pes: 4,
+            rounds: vec![round(8, 1, 1)],
+            queue_high_water: Vec::new(),
+        };
+        let l = LayerStats {
+            xw: s1,
+            a_xw: s2,
+            pipelined_cycles: 14,
+        };
+        assert_eq!(l.sequential_cycles(), 18);
+        assert_eq!(l.pipeline_savings(), 4);
+    }
+
+    #[test]
+    fn run_aggregates() {
+        let mk = |c, t| SpmmStats {
+            label: "x".into(),
+            n_pes: 2,
+            rounds: vec![round(c, t, t)],
+            queue_high_water: Vec::new(),
+        };
+        let run = RunStats {
+            layers: vec![LayerStats {
+                xw: mk(10, 10),
+                a_xw: mk(10, 10),
+                pipelined_cycles: 15,
+            }],
+            n_pes: 2,
+        };
+        assert_eq!(run.total_cycles(), 15);
+        assert_eq!(run.total_tasks(), 20);
+        assert_eq!(run.spmms().len(), 2);
+        // busy 20, denom (10+10)*2 = 40
+        assert!((run.avg_utilization() - 0.5).abs() < 1e-12);
+        let ms = run.latency_ms(275.0);
+        assert!((ms - 15.0 / 275e3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,224 @@
+//! Design-space sweeps: run a grid of (design × PE count) points over one
+//! workload and collect the per-point metrics the paper's Figs. 14/15 plot.
+
+use crate::area::AreaModel;
+use crate::config::{AccelConfig, Design};
+use crate::error::AccelError;
+use crate::gcn_run::GcnRunner;
+use awb_gcn_model::GcnInput;
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Design evaluated.
+    pub design: Design,
+    /// PE count evaluated.
+    pub n_pes: usize,
+    /// End-to-end inference cycles.
+    pub cycles: u64,
+    /// Average PE utilization.
+    pub utilization: f64,
+    /// Deepest task queue needed anywhere.
+    pub max_queue_depth: usize,
+    /// Total TQ slots needed across the array (max over SPMMs).
+    pub tq_slots: usize,
+    /// Modeled total area in CLBs.
+    pub clb_total: f64,
+}
+
+/// Grid sweep runner.
+///
+/// # Example
+///
+/// ```
+/// use awb_accel::{AccelConfig, Design, DesignSweep};
+/// use awb_datasets::{DatasetSpec, GeneratedDataset};
+/// use awb_gcn_model::GcnInput;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(128), 2)?;
+/// let input = GcnInput::from_dataset(&data)?;
+/// let points = DesignSweep::new()
+///     .designs(vec![Design::Baseline, Design::LocalSharing { hop: 1 }])
+///     .pe_counts(vec![16, 32])
+///     .run(&input)?;
+/// assert_eq!(points.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignSweep {
+    designs: Vec<Design>,
+    pe_counts: Vec<usize>,
+    base: AccelConfig,
+    area_model: AreaModel,
+}
+
+impl Default for DesignSweep {
+    fn default() -> Self {
+        DesignSweep::new()
+    }
+}
+
+impl DesignSweep {
+    /// A sweep with the paper's design lineup at 1024 PEs.
+    pub fn new() -> Self {
+        DesignSweep {
+            designs: Design::paper_lineup(1).to_vec(),
+            pe_counts: vec![1024],
+            base: AccelConfig::paper_default(),
+            area_model: AreaModel::paper_default(),
+        }
+    }
+
+    /// Replaces the design list.
+    pub fn designs(mut self, designs: Vec<Design>) -> Self {
+        self.designs = designs;
+        self
+    }
+
+    /// Replaces the PE-count list.
+    pub fn pe_counts(mut self, pe_counts: Vec<usize>) -> Self {
+        self.pe_counts = pe_counts;
+        self
+    }
+
+    /// Replaces the base configuration the designs are applied to.
+    pub fn base_config(mut self, base: AccelConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Replaces the area model.
+    pub fn area_model(mut self, model: AreaModel) -> Self {
+        self.area_model = model;
+        self
+    }
+
+    /// Runs every grid point, in PE-major order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/shape errors from the runner (e.g. an
+    /// invalid PE count).
+    pub fn run(&self, input: &GcnInput) -> Result<Vec<SweepPoint>, AccelError> {
+        let mut points = Vec::with_capacity(self.designs.len() * self.pe_counts.len());
+        for &n_pes in &self.pe_counts {
+            for &design in &self.designs {
+                let mut config = design.apply(self.base.clone());
+                config.n_pes = n_pes;
+                if config.local_hop >= n_pes {
+                    return Err(AccelError::InvalidConfig(format!(
+                        "hop {} does not fit {} PEs",
+                        config.local_hop, n_pes
+                    )));
+                }
+                let outcome = GcnRunner::new(config.clone()).run(input)?;
+                let tq_slots = outcome
+                    .stats
+                    .spmms()
+                    .iter()
+                    .map(|s| s.total_queue_slots())
+                    .max()
+                    .unwrap_or(0);
+                points.push(SweepPoint {
+                    design,
+                    n_pes,
+                    cycles: outcome.stats.total_cycles(),
+                    utilization: outcome.stats.avg_utilization(),
+                    max_queue_depth: outcome.stats.max_queue_depth(),
+                    tq_slots,
+                    clb_total: self.area_model.breakdown(&config, tq_slots).total(),
+                });
+            }
+        }
+        Ok(points)
+    }
+}
+
+/// Renders sweep points as CSV:
+/// `design,n_pes,cycles,utilization,max_queue_depth,tq_slots,clb_total`.
+pub fn sweep_csv(points: &[SweepPoint]) -> String {
+    let mut out =
+        String::from("design,n_pes,cycles,utilization,max_queue_depth,tq_slots,clb_total\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{:.4},{},{},{:.0}\n",
+            p.design.label(),
+            p.n_pes,
+            p.cycles,
+            p.utilization,
+            p.max_queue_depth,
+            p.tq_slots,
+            p.clb_total,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_datasets::{DatasetSpec, GeneratedDataset};
+
+    fn input() -> GcnInput {
+        let data =
+            GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(128), 4).unwrap();
+        GcnInput::from_dataset(&data).unwrap()
+    }
+
+    #[test]
+    fn sweep_covers_grid_in_order() {
+        let points = DesignSweep::new()
+            .designs(vec![Design::Baseline, Design::LocalPlusRemote { hop: 1 }])
+            .pe_counts(vec![8, 16])
+            .run(&input())
+            .unwrap();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].n_pes, 8);
+        assert_eq!(points[0].design, Design::Baseline);
+        assert_eq!(points[3].n_pes, 16);
+        assert_eq!(points[3].design, Design::LocalPlusRemote { hop: 1 });
+        for p in &points {
+            assert!(p.cycles > 0);
+            assert!(p.utilization > 0.0 && p.utilization <= 1.0);
+            assert!(p.clb_total > 0.0);
+        }
+    }
+
+    #[test]
+    fn more_pes_cost_more_area_but_fewer_cycles() {
+        let points = DesignSweep::new()
+            .designs(vec![Design::LocalPlusRemote { hop: 1 }])
+            .pe_counts(vec![8, 64])
+            .run(&input())
+            .unwrap();
+        assert!(points[1].cycles < points[0].cycles);
+        // More PEs always cost more non-TQ area; TQ shrinkage rarely
+        // overcomes an 8x PE increase.
+        assert!(points[1].clb_total > points[0].clb_total);
+    }
+
+    #[test]
+    fn invalid_hop_rejected() {
+        let res = DesignSweep::new()
+            .designs(vec![Design::LocalSharing { hop: 9 }])
+            .pe_counts(vec![8])
+            .run(&input());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn csv_shape() {
+        let points = DesignSweep::new()
+            .designs(vec![Design::Baseline])
+            .pe_counts(vec![8])
+            .run(&input())
+            .unwrap();
+        let csv = sweep_csv(&points);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("design,n_pes"));
+        assert!(lines[1].starts_with("Base,8,"));
+    }
+}

@@ -1,0 +1,161 @@
+//! CSV export of simulation statistics.
+//!
+//! The bench harness prints human-readable tables; this module emits the
+//! same data as machine-readable CSV so the paper's figures can be
+//! regenerated with external plotting tools (each function documents which
+//! figure its series backs).
+
+use crate::stats::{RunStats, SpmmStats};
+
+/// Per-round trace of one SPMM — the series behind the auto-tuner
+/// convergence view and Fig. 14 F-J: columns
+/// `round,cycles,tasks,busy,util,max_pe_busy,min_pe_busy,max_queue,raw_stalls,tuning`.
+///
+/// # Example
+///
+/// ```
+/// use awb_accel::{AccelConfig, FastEngine, SpmmEngine};
+/// use awb_accel::trace::spmm_round_csv;
+/// use awb_sparse::{Coo, DenseMatrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Coo::new(4, 4);
+/// a.push(0, 0, 1.0)?;
+/// let b = DenseMatrix::from_vec(4, 2, vec![1.0; 8])?;
+/// let config = AccelConfig::builder().n_pes(2).build()?;
+/// let out = FastEngine::new(config).run(&a.to_csc(), &b, "t")?;
+/// let csv = spmm_round_csv(&out.stats);
+/// assert!(csv.lines().count() == 3); // header + 2 rounds
+/// # Ok(())
+/// # }
+/// ```
+pub fn spmm_round_csv(stats: &SpmmStats) -> String {
+    let mut out = String::from(
+        "round,cycles,tasks,busy,util,max_pe_busy,min_pe_busy,max_queue,raw_stalls,tuning\n",
+    );
+    for (i, r) in stats.rounds.iter().enumerate() {
+        out.push_str(&format!(
+            "{i},{},{},{},{:.4},{},{},{},{},{}\n",
+            r.cycles,
+            r.tasks,
+            r.busy_cycles,
+            r.utilization(stats.n_pes),
+            r.max_pe_busy,
+            r.min_pe_busy,
+            r.max_queue_depth,
+            r.raw_stalls,
+            r.tuning_active as u8,
+        ));
+    }
+    out
+}
+
+/// One summary line per SPMM of a run — the series behind Fig. 14 A-J:
+/// columns
+/// `spmm,rounds,tasks,cycles,ideal,sync,util,max_queue,total_queue_slots,tuning_rounds`.
+pub fn run_spmm_csv(stats: &RunStats) -> String {
+    let mut out = String::from(
+        "spmm,rounds,tasks,cycles,ideal,sync,util,max_queue,total_queue_slots,tuning_rounds\n",
+    );
+    for s in stats.spmms() {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.4},{},{},{}\n",
+            s.label,
+            s.rounds.len(),
+            s.total_tasks(),
+            s.total_cycles(),
+            s.ideal_cycles(),
+            s.sync_cycles(),
+            s.utilization(),
+            s.max_queue_depth(),
+            s.total_queue_slots(),
+            s.tuning_rounds(),
+        ));
+    }
+    out
+}
+
+/// Per-layer summary — columns
+/// `layer,xw_cycles,axw_cycles,pipelined,sequential,savings`.
+pub fn run_layer_csv(stats: &RunStats) -> String {
+    let mut out = String::from("layer,xw_cycles,axw_cycles,pipelined,sequential,savings\n");
+    for (i, l) in stats.layers.iter().enumerate() {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            i + 1,
+            l.xw.total_cycles(),
+            l.a_xw.total_cycles(),
+            l.pipelined_cycles,
+            l.sequential_cycles(),
+            l.pipeline_savings(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{LayerStats, RoundStats};
+
+    fn spmm(label: &str, n: usize) -> SpmmStats {
+        SpmmStats {
+            label: label.into(),
+            n_pes: 4,
+            rounds: (0..n)
+                .map(|i| RoundStats {
+                    cycles: 10 + i as u64,
+                    tasks: 20,
+                    busy_cycles: 20,
+                    max_pe_busy: 8,
+                    min_pe_busy: 2,
+                    max_queue_depth: 5,
+                    raw_stalls: 1,
+                    tuning_active: i == 0,
+                })
+                .collect(),
+            queue_high_water: vec![3, 5, 2, 4],
+        }
+    }
+
+    fn run() -> RunStats {
+        RunStats {
+            layers: vec![LayerStats {
+                xw: spmm("L1:X*W", 2),
+                a_xw: spmm("L1:A*(XW)", 2),
+                pipelined_cycles: 30,
+            }],
+            n_pes: 4,
+        }
+    }
+
+    #[test]
+    fn round_csv_has_header_and_rows() {
+        let csv = spmm_round_csv(&spmm("t", 3));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("round,cycles"));
+        assert!(lines[1].starts_with("0,10,20,20,0.5000"));
+        assert!(lines[1].ends_with(",1")); // tuning on in round 0
+        assert!(lines[2].ends_with(",0"));
+    }
+
+    #[test]
+    fn spmm_csv_one_line_per_spmm() {
+        let csv = run_spmm_csv(&run());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("L1:X*W,2,40,21,10,11"));
+        // total_queue_slots = 3+5+2+4 = 14.
+        assert!(lines[1].contains(",14,"));
+    }
+
+    #[test]
+    fn layer_csv_reports_savings() {
+        let csv = run_layer_csv(&run());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // xw 21 + axw 21 = 42 sequential, 30 pipelined, 12 saved.
+        assert_eq!(lines[1], "1,21,21,30,42,12");
+    }
+}

@@ -1,0 +1,229 @@
+//! A small, self-contained, deterministic PCG-64 generator.
+//!
+//! Dataset generation must be bit-reproducible across platforms and over
+//! time, so we avoid external RNG crates whose stream definitions may change
+//! between versions. The implementation is the standard PCG XSL-RR 128/64
+//! variant.
+
+/// Deterministic PCG-64 (XSL-RR 128/64) pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use awb_datasets::rng::Pcg64;
+///
+/// let mut a = Pcg64::seed_from_u64(7);
+/// let mut b = Pcg64::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u128,
+    inc: u128,
+}
+
+const PCG_MULT: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+impl Pcg64 {
+    /// Creates a generator from a 64-bit seed (stream constant fixed).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut rng = Pcg64 {
+            state: 0,
+            inc: (0xda3e_39cb_94b9_5bdb_u128 << 1) | 1,
+        };
+        rng.state = rng
+            .inc
+            .wrapping_add(seed as u128)
+            .wrapping_mul(PCG_MULT)
+            .wrapping_add(rng.inc);
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let rot = (self.state >> 122) as u32;
+        let xsl = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xsl.rotate_right(rot)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.next_below((hi - lo) as u64) as usize
+    }
+
+    /// Standard-normal sample (Box–Muller; one value per call).
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Avoid ln(0).
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Poisson sample with the given mean (Knuth for small means, normal
+    /// approximation above 30 for speed).
+    pub fn next_poisson(&mut self, mean: f64) -> usize {
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean > 30.0 {
+            let v = mean + mean.sqrt() * self.next_gaussian();
+            return v.max(0.0).round() as usize;
+        }
+        let l = (-mean).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= self.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Pcg64::seed_from_u64(123);
+        let mut b = Pcg64::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg64::seed_from_u64(1);
+        let mut b = Pcg64::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        let mean: f64 = (0..10_000).map(|_| rng.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn next_below_bounds_and_coverage() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            let v = rng.next_below(8);
+            assert!(v < 8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        Pcg64::seed_from_u64(0).next_below(0);
+    }
+
+    #[test]
+    fn range_usize_inclusive_exclusive() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        for _ in 0..200 {
+            let v = rng.range_usize(10, 13);
+            assert!((10..13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Pcg64::seed_from_u64(6);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_parameter() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        for &lambda in &[0.5, 3.0, 50.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| rng.next_poisson(lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() / lambda < 0.1,
+                "lambda = {lambda}, mean = {mean}"
+            );
+        }
+        assert_eq!(rng.next_poisson(0.0), 0);
+        assert_eq!(rng.next_poisson(-1.0), 0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg64::seed_from_u64(8);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>()); // astronomically unlikely
+    }
+}

@@ -1,0 +1,150 @@
+use crate::rng::Pcg64;
+
+/// Walker alias table for O(1) sampling from a discrete distribution.
+///
+/// Used by the Chung–Lu edge generator, where every one of the (up to tens
+/// of millions of) edge endpoints is drawn proportionally to a node weight.
+///
+/// # Example
+///
+/// ```
+/// use awb_datasets::AliasTable;
+/// use awb_datasets::rng::Pcg64;
+///
+/// let table = AliasTable::new(&[1.0, 0.0, 3.0]);
+/// let mut rng = Pcg64::seed_from_u64(1);
+/// let s = table.sample(&mut rng);
+/// assert!(s == 0 || s == 2); // index 1 has zero weight
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers are certainties.
+        for &s in small.iter().chain(large.iter()) {
+            prob[s as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index in O(1).
+    pub fn sample(&self, rng: &mut Pcg64) -> usize {
+        let i = rng.next_below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let table = AliasTable::new(&[1.0; 4]);
+        let mut rng = Pcg64::seed_from_u64(11);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respected() {
+        let table = AliasTable::new(&[1.0, 9.0]);
+        let mut rng = Pcg64::seed_from_u64(12);
+        let hits1 = (0..50_000).filter(|_| table.sample(&mut rng) == 1).count();
+        let frac = hits1 as f64 / 50_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = Pcg64::seed_from_u64(13);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_weights_panic() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_panic() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weight_panics() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn single_category() {
+        let table = AliasTable::new(&[3.5]);
+        let mut rng = Pcg64::seed_from_u64(14);
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+        assert_eq!(table.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Software reference for spectral GCN inference (paper Eq. 1):
+//!
+//! ```text
+//! X(l+1) = σ( Ã · X(l) · W(l) ),   Ã = D^(-1/2) (A + I) D^(-1/2)
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`normalize::normalize_adjacency`] — the offline Ã computation the
+//!   paper performs before inference (§2.1),
+//! * [`GcnModel`] / [`GcnInput`] — a 2-layer (or deeper) GCN whose forward
+//!   pass is the functional ground truth for the accelerator simulator,
+//!   supporting both execution orders of §3.1,
+//! * [`ops`] — per-layer MAC counting under both orders (Table 2).
+//!
+//! # Example
+//!
+//! ```
+//! use awb_datasets::{DatasetSpec, GeneratedDataset};
+//! use awb_gcn_model::{GcnInput, GcnModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(128), 3)?;
+//! let input = GcnInput::from_dataset(&data)?;
+//! let fwd = GcnModel::two_layer().forward(&input)?;
+//! assert_eq!(fwd.output.shape(), (128, 7));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+pub mod normalize;
+pub mod ops;
+
+pub use model::{Activation, ExecOrder, GcnForward, GcnInput, GcnModel};

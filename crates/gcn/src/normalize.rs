@@ -1,0 +1,163 @@
+//! Symmetric adjacency normalization (paper §2.1).
+//!
+//! `Ã = D^(-1/2) (A + I) D^(-1/2)` with `D_ii = Σ_j (A + I)_ij`. The paper
+//! computes this offline once; `Ã` then stays constant for all layers and
+//! all inference runs — which is what makes the accelerator's auto-tuned
+//! configuration reusable.
+
+use awb_sparse::{Coo, Csr, SparseError};
+
+/// Computes `Ã = D^(-1/2) (A + I) D^(-1/2)` from a raw adjacency matrix.
+///
+/// Self-loops already present in `a` are merged with the added identity
+/// (the entry is clamped to 1 before normalization).
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a` is not square.
+///
+/// # Example
+///
+/// ```
+/// use awb_sparse::Coo;
+/// use awb_gcn_model::normalize::normalize_adjacency;
+///
+/// # fn main() -> Result<(), awb_sparse::SparseError> {
+/// let mut a = Coo::new(2, 2);
+/// a.push(0, 1, 1.0)?;
+/// a.push(1, 0, 1.0)?;
+/// let norm = normalize_adjacency(&a.to_csr())?;
+/// // Each node has degree 2 (neighbour + self-loop): entries are 1/2.
+/// assert!((norm.to_dense().get(0, 1) - 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn normalize_adjacency(a: &Csr) -> Result<Csr, SparseError> {
+    if a.rows() != a.cols() {
+        return Err(SparseError::DimensionMismatch {
+            left: a.shape(),
+            right: a.shape(),
+            op: "normalize_adjacency",
+        });
+    }
+    let n = a.rows();
+    // Row sums of (A + I), treating any existing entry as unit weight.
+    let mut degree = vec![1.0f64; n]; // the +I contribution
+    let mut has_self_loop = vec![false; n];
+    for (r, c, _) in a.iter() {
+        if r == c {
+            has_self_loop[r] = true; // merged with identity, not double-counted
+        } else {
+            degree[r] += 1.0;
+        }
+    }
+    let inv_sqrt: Vec<f64> = degree.iter().map(|d| 1.0 / d.sqrt()).collect();
+    let mut out = Coo::new(n, n);
+    out.reserve(a.nnz() + n);
+    for (r, c, _) in a.iter() {
+        if r != c {
+            out.push(r, c, (inv_sqrt[r] * inv_sqrt[c]) as f32)?;
+        }
+    }
+    for i in 0..n {
+        out.push(i, i, (inv_sqrt[i] * inv_sqrt[i]) as f32)?;
+    }
+    Ok(out.to_csr())
+}
+
+/// Row sums of a normalized adjacency — used in tests: for `Ã` derived from
+/// a regular graph they are ≈ 1.
+pub fn row_sums(m: &Csr) -> Vec<f64> {
+    (0..m.rows())
+        .map(|r| m.row_entries(r).map(|(_, v)| v as f64).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_sparse::Coo;
+
+    fn path_graph(n: usize) -> Csr {
+        let mut a = Coo::new(n, n);
+        for i in 0..n - 1 {
+            a.push(i, i + 1, 1.0).unwrap();
+            a.push(i + 1, i, 1.0).unwrap();
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Coo::new(2, 3).to_csr();
+        assert!(normalize_adjacency(&a).is_err());
+    }
+
+    #[test]
+    fn isolated_node_gets_unit_self_loop() {
+        let a = Coo::new(3, 3).to_csr(); // empty graph
+        let norm = normalize_adjacency(&a).unwrap();
+        let d = norm.to_dense();
+        for i in 0..3 {
+            assert!((d.get(i, i) - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(norm.nnz(), 3);
+    }
+
+    #[test]
+    fn two_node_clique_values() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 1, 1.0).unwrap();
+        a.push(1, 0, 1.0).unwrap();
+        let d = normalize_adjacency(&a.to_csr()).unwrap().to_dense();
+        // degrees 2 and 2 -> off-diagonal 1/2, diagonal 1/2.
+        for (r, c) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            assert!((d.get(r, c) - 0.5).abs() < 1e-6, "({r},{c}) = {}", d.get(r, c));
+        }
+    }
+
+    #[test]
+    fn existing_self_loops_not_double_counted() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 1.0).unwrap(); // explicit self loop
+        a.push(0, 1, 1.0).unwrap();
+        a.push(1, 0, 1.0).unwrap();
+        let norm = normalize_adjacency(&a.to_csr()).unwrap();
+        // Node 0: neighbours = {1}, self-loop merged -> degree 2.
+        let d = norm.to_dense();
+        assert!((d.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalization_is_symmetric_for_symmetric_input() {
+        let norm = normalize_adjacency(&path_graph(6)).unwrap().to_dense();
+        for r in 0..6 {
+            for c in 0..6 {
+                assert!((norm.get(r, c) - norm.get(c, r)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn regular_graph_rows_sum_to_one() {
+        // Ring graph: every node has degree 3 including self-loop.
+        let n = 8;
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, (i + 1) % n, 1.0).unwrap();
+            a.push((i + 1) % n, i, 1.0).unwrap();
+        }
+        let norm = normalize_adjacency(&a.to_csr()).unwrap();
+        for s in row_sums(&norm) {
+            assert!((s - 1.0).abs() < 1e-5, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn values_bounded_by_one() {
+        let norm = normalize_adjacency(&path_graph(10)).unwrap();
+        for (_, _, v) in norm.iter() {
+            assert!(v > 0.0 && v <= 1.0);
+        }
+    }
+}

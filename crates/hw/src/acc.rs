@@ -1,0 +1,116 @@
+/// A per-PE slice of the accumulation buffer array (ACC).
+///
+/// Each PE owns the partial results of the output rows mapped to it; PEs
+/// "fetch present partial results of C from ACC, perform the new
+/// multiplication task, add to the partial results, and save back to ACC"
+/// (paper §3.3). The bank stores one column of `C` at a time (the engine
+/// drains it at the end of each round/column).
+///
+/// # Example
+///
+/// ```
+/// use awb_hw::AccumulatorBank;
+///
+/// let mut acc = AccumulatorBank::new(4);
+/// acc.accumulate(2, 1.5);
+/// acc.accumulate(2, 0.5);
+/// assert_eq!(acc.get(2), 2.0);
+/// let col = acc.drain();
+/// assert_eq!(col[2], 2.0);
+/// assert_eq!(acc.get(2), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccumulatorBank {
+    values: Vec<f32>,
+    writes: u64,
+}
+
+impl AccumulatorBank {
+    /// Creates a bank with `slots` local rows, zero-initialized.
+    pub fn new(slots: usize) -> Self {
+        AccumulatorBank {
+            values: vec![0.0; slots],
+            writes: 0,
+        }
+    }
+
+    /// Number of local row slots.
+    pub fn slots(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Adds `value` into local slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[inline]
+    pub fn accumulate(&mut self, slot: usize, value: f32) {
+        assert!(slot < self.values.len(), "ACC slot {slot} out of range");
+        self.values[slot] += value;
+        self.writes += 1;
+    }
+
+    /// Current partial value in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[inline]
+    pub fn get(&self, slot: usize) -> f32 {
+        assert!(slot < self.values.len(), "ACC slot {slot} out of range");
+        self.values[slot]
+    }
+
+    /// Returns the finished column and resets all slots to zero (the
+    /// end-of-round synchronization point).
+    pub fn drain(&mut self) -> Vec<f32> {
+        let out = self.values.clone();
+        self.values.iter_mut().for_each(|v| *v = 0.0);
+        out
+    }
+
+    /// Total accumulate operations performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_reads() {
+        let mut acc = AccumulatorBank::new(3);
+        acc.accumulate(0, 1.0);
+        acc.accumulate(0, 2.0);
+        acc.accumulate(2, -1.0);
+        assert_eq!(acc.get(0), 3.0);
+        assert_eq!(acc.get(1), 0.0);
+        assert_eq!(acc.get(2), -1.0);
+        assert_eq!(acc.writes(), 3);
+    }
+
+    #[test]
+    fn drain_resets() {
+        let mut acc = AccumulatorBank::new(2);
+        acc.accumulate(1, 5.0);
+        assert_eq!(acc.drain(), vec![0.0, 5.0]);
+        assert_eq!(acc.get(1), 0.0);
+        assert_eq!(acc.drain(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slot_panics() {
+        AccumulatorBank::new(2).accumulate(2, 1.0);
+    }
+
+    #[test]
+    fn zero_slot_bank() {
+        let mut acc = AccumulatorBank::new(0);
+        assert_eq!(acc.slots(), 0);
+        assert!(acc.drain().is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+/// Round-robin arbiter over `n` requesters.
+///
+/// In TDQ-1 each PE owns several task queues (one per matrix row mapped to
+/// it that can deliver a non-zero in the same cycle); each cycle the
+/// arbiter picks one non-empty queue to pop (paper §3.3: "an arbitrator
+/// selects a non-empty queue, pops an element, …").
+///
+/// # Example
+///
+/// ```
+/// use awb_hw::RoundRobinArbiter;
+///
+/// let mut arb = RoundRobinArbiter::new(3);
+/// // Queues 0 and 2 have pending work.
+/// assert_eq!(arb.grant(&[true, false, true]), Some(0));
+/// assert_eq!(arb.grant(&[true, false, true]), Some(2));
+/// assert_eq!(arb.grant(&[true, false, true]), Some(0)); // wrapped
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRobinArbiter {
+    n: usize,
+    next: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Creates an arbiter over `n` requesters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "arbiter needs at least one requester");
+        RoundRobinArbiter { n, next: 0 }
+    }
+
+    /// Number of requesters.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (an arbiter has ≥ 1 requesters).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Grants the next requester at or after the rotating priority pointer
+    /// whose `requests` flag is set; advances the pointer past the grantee.
+    ///
+    /// Returns `None` when no requester is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != self.len()`.
+    pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.n, "request vector length mismatch");
+        for off in 0..self.n {
+            let i = (self.next + off) % self.n;
+            if requests[i] {
+                self.next = (i + 1) % self.n;
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_fairly_over_all_active() {
+        let mut arb = RoundRobinArbiter::new(4);
+        let all = [true; 4];
+        let grants: Vec<_> = (0..8).map(|_| arb.grant(&all).unwrap()).collect();
+        assert_eq!(grants, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skips_inactive() {
+        let mut arb = RoundRobinArbiter::new(4);
+        let req = [false, true, false, true];
+        assert_eq!(arb.grant(&req), Some(1));
+        assert_eq!(arb.grant(&req), Some(3));
+        assert_eq!(arb.grant(&req), Some(1));
+    }
+
+    #[test]
+    fn none_when_idle() {
+        let mut arb = RoundRobinArbiter::new(2);
+        assert_eq!(arb.grant(&[false, false]), None);
+        // Pointer did not move: next active grant starts from 0.
+        assert_eq!(arb.grant(&[true, true]), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one requester")]
+    fn zero_requesters_panics() {
+        RoundRobinArbiter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_request_length_panics() {
+        RoundRobinArbiter::new(2).grant(&[true]);
+    }
+
+    #[test]
+    fn starvation_freedom() {
+        // Requester 3 competes against always-on 0..2 and still gets grants.
+        let mut arb = RoundRobinArbiter::new(4);
+        let req = [true; 4];
+        let hits3 = (0..100).filter(|_| arb.grant(&req) == Some(3)).count();
+        assert_eq!(hits3, 25);
+    }
+}

@@ -1,0 +1,140 @@
+/// Per-PE busy/idle cycle counter.
+///
+/// The paper instruments every PE with "a counter … for tracking the number
+/// of idle cycles for utilization measurement"; Figs. 14/15 report the
+/// resulting utilization. One counter instance tracks one PE.
+///
+/// # Example
+///
+/// ```
+/// use awb_hw::UtilizationCounter;
+///
+/// let mut c = UtilizationCounter::new();
+/// c.record(true);
+/// c.record(false);
+/// c.record(true);
+/// assert_eq!(c.busy_cycles(), 2);
+/// assert_eq!(c.total_cycles(), 3);
+/// assert!((c.utilization() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UtilizationCounter {
+    busy: u64,
+    total: u64,
+}
+
+impl UtilizationCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        UtilizationCounter::default()
+    }
+
+    /// Records one cycle, busy or idle.
+    #[inline]
+    pub fn record(&mut self, busy: bool) {
+        self.total += 1;
+        if busy {
+            self.busy += 1;
+        }
+    }
+
+    /// Adds pre-aggregated cycles (used by the fast engine, which computes
+    /// per-round busy totals analytically).
+    #[inline]
+    pub fn add(&mut self, busy: u64, total: u64) {
+        debug_assert!(busy <= total, "busy cycles cannot exceed total");
+        self.busy += busy;
+        self.total += total;
+    }
+
+    /// Busy cycles so far.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy
+    }
+
+    /// Idle cycles so far.
+    pub fn idle_cycles(&self) -> u64 {
+        self.total - self.busy
+    }
+
+    /// Total observed cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.total
+    }
+
+    /// Busy fraction in `[0, 1]`; 0 when nothing was recorded.
+    pub fn utilization(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.total as f64
+        }
+    }
+}
+
+/// Aggregates utilization across a PE array.
+///
+/// # Example
+///
+/// ```
+/// use awb_hw::UtilizationCounter;
+/// use awb_hw::average_utilization;
+///
+/// let mut a = UtilizationCounter::new();
+/// a.add(1, 2);
+/// let mut b = UtilizationCounter::new();
+/// b.add(2, 2);
+/// assert!((average_utilization(&[a, b]) - 0.75).abs() < 1e-12);
+/// ```
+pub fn average_utilization(counters: &[UtilizationCounter]) -> f64 {
+    let (busy, total) = counters.iter().fold((0u64, 0u64), |(b, t), c| {
+        (b + c.busy_cycles(), t + c.total_cycles())
+    });
+    if total == 0 {
+        0.0
+    } else {
+        busy as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_counter_zero() {
+        let c = UtilizationCounter::new();
+        assert_eq!(c.total_cycles(), 0);
+        assert_eq!(c.utilization(), 0.0);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut c = UtilizationCounter::new();
+        for i in 0..10 {
+            c.record(i % 2 == 0);
+        }
+        assert_eq!(c.busy_cycles(), 5);
+        assert_eq!(c.idle_cycles(), 5);
+        assert_eq!(c.utilization(), 0.5);
+    }
+
+    #[test]
+    fn add_merges_aggregates() {
+        let mut c = UtilizationCounter::new();
+        c.add(10, 20);
+        c.add(5, 5);
+        assert_eq!(c.busy_cycles(), 15);
+        assert_eq!(c.total_cycles(), 25);
+    }
+
+    #[test]
+    fn average_over_array_weights_by_cycles() {
+        let mut a = UtilizationCounter::new();
+        a.add(0, 10);
+        let mut b = UtilizationCounter::new();
+        b.add(10, 10);
+        assert_eq!(average_utilization(&[a, b]), 0.5);
+        assert_eq!(average_utilization(&[]), 0.0);
+    }
+}

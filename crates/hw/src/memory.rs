@@ -1,0 +1,141 @@
+//! Sparse-matrix-memory (SPMMeM) and dense-column-memory (DCM) model.
+//!
+//! The paper's Fig. 7 buffers the sparse operand in SPMMeM and the dense
+//! operand's current column in DCM. When the operand fits on chip, the
+//! distributor can sustain its full rate (`n_pes` non-zeros per cycle);
+//! when it does not, every round must re-stream the matrix from off-chip
+//! memory and the delivery rate is bounded by that bandwidth instead.
+//! This module models exactly that ceiling.
+//!
+//! The default constants describe the paper's VCU118 board: ~45 MB of
+//! usable URAM+BRAM and a DDR4 interface worth ~77 GB/s.
+
+/// Bytes to store one CSC non-zero (f32 value + u32 row index).
+pub const BYTES_PER_NNZ: usize = 8;
+
+/// On-chip buffering capacity and off-chip streaming bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use awb_hw::MemoryModel;
+///
+/// let mem = MemoryModel::vcu118();
+/// // Nell's adjacency (266K nnz) fits on chip: full distributor rate.
+/// assert_eq!(mem.delivery_rate_limit(266_000, 1024), 1024);
+/// // Full Reddit (23M nnz) does not: the stream throttles.
+/// assert!(mem.delivery_rate_limit(23_000_000, 1024) < 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// On-chip buffer capacity in bytes (URAM + BRAM budget for SPMMeM).
+    pub on_chip_bytes: usize,
+    /// Off-chip bandwidth in bytes per clock cycle.
+    pub off_chip_bytes_per_cycle: f64,
+}
+
+impl MemoryModel {
+    /// The paper's evaluation board: Xilinx VCU118 (~45 MB on-chip RAM,
+    /// DDR4 at ~77 GB/s ≈ 280 B/cycle at 275 MHz).
+    pub fn vcu118() -> Self {
+        MemoryModel {
+            on_chip_bytes: 45 << 20,
+            off_chip_bytes_per_cycle: 280.0,
+        }
+    }
+
+    /// An idealized memory with unbounded buffering (the default engine
+    /// assumption, matching the paper's reported operating points).
+    pub fn unbounded() -> Self {
+        MemoryModel {
+            on_chip_bytes: usize::MAX,
+            off_chip_bytes_per_cycle: f64::INFINITY,
+        }
+    }
+
+    /// Whether a sparse operand with `nnz` non-zeros fits in SPMMeM.
+    pub fn fits_on_chip(&self, nnz: usize) -> bool {
+        nnz.saturating_mul(BYTES_PER_NNZ) <= self.on_chip_bytes
+    }
+
+    /// Maximum non-zeros the distributor can deliver per cycle for an
+    /// operand of `nnz` non-zeros, given the requested rate (`n_pes`).
+    ///
+    /// On-chip operands get the full rate; off-chip operands are bounded
+    /// by the streaming bandwidth (at least 1/cycle so progress is always
+    /// possible).
+    pub fn delivery_rate_limit(&self, nnz: usize, requested: usize) -> usize {
+        if self.fits_on_chip(nnz) {
+            requested
+        } else {
+            let streamed = (self.off_chip_bytes_per_cycle / BYTES_PER_NNZ as f64) as usize;
+            streamed.clamp(1, requested)
+        }
+    }
+
+    /// Cycles to load an operand of `nnz` non-zeros on chip once (the
+    /// one-time fill cost when it fits; re-paid per round when it does
+    /// not).
+    pub fn fill_cycles(&self, nnz: usize) -> u64 {
+        if self.off_chip_bytes_per_cycle.is_infinite() {
+            return 0;
+        }
+        ((nnz * BYTES_PER_NNZ) as f64 / self.off_chip_bytes_per_cycle).ceil() as u64
+    }
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_throttles() {
+        let mem = MemoryModel::unbounded();
+        assert!(mem.fits_on_chip(usize::MAX / BYTES_PER_NNZ));
+        assert_eq!(mem.delivery_rate_limit(1 << 40, 1024), 1024);
+        assert_eq!(mem.fill_cycles(1 << 30), 0);
+    }
+
+    #[test]
+    fn vcu118_capacity_boundary() {
+        let mem = MemoryModel::vcu118();
+        let capacity_nnz = mem.on_chip_bytes / BYTES_PER_NNZ;
+        assert!(mem.fits_on_chip(capacity_nnz));
+        assert!(!mem.fits_on_chip(capacity_nnz + 1));
+    }
+
+    #[test]
+    fn off_chip_rate_is_bandwidth_bound() {
+        let mem = MemoryModel::vcu118();
+        // 280 B/cycle / 8 B per nnz = 35 nnz/cycle.
+        assert_eq!(mem.delivery_rate_limit(usize::MAX / 16, 1024), 35);
+        // Requested rate below the bandwidth limit passes through.
+        assert_eq!(mem.delivery_rate_limit(usize::MAX / 16, 16), 16);
+    }
+
+    #[test]
+    fn rate_never_zero() {
+        let mem = MemoryModel {
+            on_chip_bytes: 0,
+            off_chip_bytes_per_cycle: 0.5,
+        };
+        assert_eq!(mem.delivery_rate_limit(100, 8), 1);
+    }
+
+    #[test]
+    fn fill_cycles_rounds_up() {
+        let mem = MemoryModel {
+            on_chip_bytes: 1 << 20,
+            off_chip_bytes_per_cycle: 100.0,
+        };
+        // 10 nnz * 8 B = 80 B -> 1 cycle; 100 nnz -> 8 cycles.
+        assert_eq!(mem.fill_cycles(10), 1);
+        assert_eq!(mem.fill_cycles(100), 8);
+    }
+}

@@ -1,0 +1,112 @@
+use crate::workload::SpmmWorkload;
+use awb_gcn_model::{GcnInput, GcnModel};
+
+/// Analytic CPU latency model (Xeon E5-2698 v4 + PyTorch).
+///
+/// A power-law fit `t_ms = c · ops^p` against the paper's own Table 3
+/// (Cora 3.9 ms @ 1.33 M MACs … Reddit 10.8 s @ 6.6 G MACs) gives
+/// `p ≈ 0.93`: PyTorch's per-op cost falls slowly with scale but stays two
+/// orders of magnitude above the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Scale coefficient (ms per ops^p).
+    pub coefficient: f64,
+    /// Power-law exponent.
+    pub exponent: f64,
+}
+
+impl CpuModel {
+    /// Calibration from the paper's Table 3 (see module docs).
+    pub fn paper_calibrated() -> Self {
+        CpuModel {
+            coefficient: 7.7e-6,
+            exponent: 0.931,
+        }
+    }
+
+    /// Predicted inference latency in milliseconds for a workload.
+    pub fn latency_ms(&self, spmms: &[SpmmWorkload]) -> f64 {
+        let ops: u64 = spmms.iter().map(|s| s.ops).sum();
+        if ops == 0 {
+            return 0.0;
+        }
+        self.coefficient * (ops as f64).powf(self.exponent)
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel::paper_calibrated()
+    }
+}
+
+/// Actually measures this machine's software GCN forward pass (Rust
+/// reference implementation), returning milliseconds.
+///
+/// This is the reproduction's *sanity path*: absolute numbers depend on the
+/// host, so Table 3 reports the calibrated model, with this measurement
+/// available for cross-checking orders of magnitude.
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors.
+pub fn measure_software_gcn_ms(input: &GcnInput) -> Result<f64, awb_sparse::SparseError> {
+    let model = GcnModel::with_layers(input.layers());
+    let start = std::time::Instant::now();
+    let _ = model.forward(input)?;
+    Ok(start.elapsed().as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::workload_spmms;
+    use awb_datasets::DatasetSpec;
+
+    /// The calibrated model lands within ~45% of every Table 3 CPU row —
+    /// good enough to preserve the two-orders-of-magnitude gap to the
+    /// accelerator.
+    #[test]
+    fn tracks_paper_table3_cpu_column() {
+        let cases = [
+            (DatasetSpec::cora(), 3.90),
+            (DatasetSpec::citeseer(), 4.33),
+            (DatasetSpec::pubmed(), 34.15),
+            (DatasetSpec::nell(), 1.61e3),
+            (DatasetSpec::reddit(), 1.08e4),
+        ];
+        let model = CpuModel::paper_calibrated();
+        for (spec, paper_ms) in cases {
+            let pred = model.latency_ms(&workload_spmms(&spec));
+            let ratio = pred / paper_ms;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{}: predicted {pred:.2} ms vs paper {paper_ms} ms",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_ops() {
+        let model = CpuModel::paper_calibrated();
+        let small = model.latency_ms(&workload_spmms(&DatasetSpec::cora()));
+        let large = model.latency_ms(&workload_spmms(&DatasetSpec::reddit()));
+        assert!(large > small * 100.0);
+    }
+
+    #[test]
+    fn zero_workload_zero_latency() {
+        assert_eq!(CpuModel::paper_calibrated().latency_ms(&[]), 0.0);
+    }
+
+    #[test]
+    fn measured_path_returns_positive() {
+        use awb_datasets::GeneratedDataset;
+        let data =
+            GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(128), 2).unwrap();
+        let input = GcnInput::from_dataset(&data).unwrap();
+        let ms = measure_software_gcn_ms(&input).unwrap();
+        assert!(ms > 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Cross-platform latency/energy models for the paper's Table 3.
+//!
+//! The paper compares its accelerator against an Intel Xeon E5-2698 v4
+//! (PyTorch) and an NVIDIA Tesla P100 (cuSPARSE), plus an EIE-derived FPGA
+//! reference. Neither device is available here, so this crate provides
+//! **analytic latency models calibrated against the paper's own Table 3**
+//! (see `DESIGN.md` for the calibration): what matters for the reproduction
+//! is the *ratio* between platforms, which these models preserve.
+//!
+//! * [`CpuModel`] — power-law fit `t = c · ops^p` capturing PyTorch's
+//!   sub-linear efficiency growth with problem size,
+//! * [`GpuModel`] — per-kernel launch overhead plus ops at a
+//!   density-dependent throughput (cuSPARSE is far more efficient on
+//!   near-dense operands),
+//! * [`workload_spmms`] — the per-SPMM `(ops, density)` decomposition both
+//!   models consume, derived from a [`DatasetSpec`]'s Table 1 statistics,
+//! * [`PlatformResult`] / [`Platform`] — Table 3 row assembly.
+//!
+//! An in-process measured CPU path ([`measure_software_gcn_ms`]) is
+//! provided as a sanity check; the analytic models are what the Table 3
+//! bench reports, for reproducibility across machines.
+//!
+//! [`DatasetSpec`]: awb_datasets::DatasetSpec
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu;
+mod gpu;
+mod report;
+mod workload;
+
+pub use cpu::{measure_software_gcn_ms, CpuModel};
+pub use gpu::GpuModel;
+pub use report::{Platform, PlatformResult, SpeedupSummary};
+pub use workload::{workload_spmms, SpmmWorkload};

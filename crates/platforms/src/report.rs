@@ -1,0 +1,174 @@
+//! Table 3 row assembly and speedup summaries.
+
+use awb_accel::EnergyModel;
+
+/// The five platforms of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Intel Xeon E5-2698 v4, PyTorch.
+    Cpu,
+    /// NVIDIA Tesla P100, PyTorch + cuSPARSE.
+    Gpu,
+    /// EIE-derived FPGA reference (285 MHz).
+    EieLike,
+    /// The §3 baseline accelerator without rebalancing (275 MHz).
+    FpgaBaseline,
+    /// AWB-GCN with local sharing + remote switching (275 MHz).
+    AwbGcn,
+}
+
+impl Platform {
+    /// Display name as in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Platform::Cpu => "Intel Xeon E5-2698V4",
+            Platform::Gpu => "NVIDIA Tesla P100",
+            Platform::EieLike => "EIE-like: VCU118 FPGA",
+            Platform::FpgaBaseline => "Baseline: VCU118 FPGA",
+            Platform::AwbGcn => "AWB-GCN: VCU118 FPGA",
+        }
+    }
+
+    /// Frequency label for the table.
+    pub fn freq_label(&self) -> &'static str {
+        match self {
+            Platform::Cpu => "2.2-3.6 GHz",
+            Platform::Gpu => "1328-1481 MHz",
+            Platform::EieLike => "285 MHz",
+            Platform::FpgaBaseline | Platform::AwbGcn => "275 MHz",
+        }
+    }
+
+    /// The platform's energy model.
+    pub fn energy_model(&self) -> EnergyModel {
+        match self {
+            Platform::Cpu => EnergyModel::cpu(),
+            Platform::Gpu => EnergyModel::gpu(),
+            _ => EnergyModel::fpga(),
+        }
+    }
+}
+
+/// One Table 3 cell pair: latency and energy efficiency on one platform
+/// for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformResult {
+    /// Which platform.
+    pub platform: Platform,
+    /// Dataset name.
+    pub dataset: String,
+    /// Inference latency, milliseconds.
+    pub latency_ms: f64,
+    /// Graph inferences per kilojoule.
+    pub inferences_per_kj: f64,
+}
+
+impl PlatformResult {
+    /// Builds a result, deriving energy from the platform's power model.
+    pub fn new(platform: Platform, dataset: &str, latency_ms: f64) -> Self {
+        PlatformResult {
+            platform,
+            dataset: dataset.to_owned(),
+            latency_ms,
+            inferences_per_kj: platform.energy_model().inferences_per_kj(latency_ms),
+        }
+    }
+}
+
+/// Arithmetic-mean speedups of AWB-GCN over each comparison platform —
+/// the paper's headline "246.7×, 78.9×, 2.7×" numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupSummary {
+    /// Mean speedup over the CPU.
+    pub vs_cpu: f64,
+    /// Mean speedup over the GPU.
+    pub vs_gpu: f64,
+    /// Mean speedup over the FPGA baseline.
+    pub vs_baseline: f64,
+    /// Mean speedup over the EIE-like reference.
+    pub vs_eie: f64,
+}
+
+impl SpeedupSummary {
+    /// Computes the summary from per-dataset results. Every slice must be
+    /// ordered identically by dataset and non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ or any latency is non-positive.
+    pub fn from_results(
+        awb: &[PlatformResult],
+        cpu: &[PlatformResult],
+        gpu: &[PlatformResult],
+        baseline: &[PlatformResult],
+        eie: &[PlatformResult],
+    ) -> Self {
+        let mean_ratio = |others: &[PlatformResult]| -> f64 {
+            assert_eq!(others.len(), awb.len(), "result slices must align");
+            assert!(!awb.is_empty(), "need at least one dataset");
+            others
+                .iter()
+                .zip(awb)
+                .map(|(o, a)| {
+                    assert!(a.latency_ms > 0.0 && o.latency_ms > 0.0);
+                    o.latency_ms / a.latency_ms
+                })
+                .sum::<f64>()
+                / awb.len() as f64
+        };
+        SpeedupSummary {
+            vs_cpu: mean_ratio(cpu),
+            vs_gpu: mean_ratio(gpu),
+            vs_baseline: mean_ratio(baseline),
+            vs_eie: mean_ratio(eie),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(p: Platform, ms: f64) -> PlatformResult {
+        PlatformResult::new(p, "x", ms)
+    }
+
+    #[test]
+    fn energy_derived_from_power_model() {
+        let r = result(Platform::AwbGcn, 0.011);
+        // 38 W × 11 µs ≈ 0.418 mJ -> ~2.39e6 inf/kJ (paper: 2.38e6).
+        assert!((r.inferences_per_kj - 2.38e6).abs() / 2.38e6 < 0.02);
+    }
+
+    #[test]
+    fn names_and_freqs() {
+        assert!(Platform::Cpu.name().contains("Xeon"));
+        assert_eq!(Platform::EieLike.freq_label(), "285 MHz");
+        assert_eq!(Platform::AwbGcn.freq_label(), "275 MHz");
+    }
+
+    #[test]
+    fn speedup_summary_means() {
+        let awb = vec![result(Platform::AwbGcn, 1.0), result(Platform::AwbGcn, 2.0)];
+        let cpu = vec![result(Platform::Cpu, 100.0), result(Platform::Cpu, 400.0)];
+        let gpu = vec![result(Platform::Gpu, 10.0), result(Platform::Gpu, 20.0)];
+        let base = vec![
+            result(Platform::FpgaBaseline, 3.0),
+            result(Platform::FpgaBaseline, 6.0),
+        ];
+        let eie = vec![result(Platform::EieLike, 2.0), result(Platform::EieLike, 4.0)];
+        let s = SpeedupSummary::from_results(&awb, &cpu, &gpu, &base, &eie);
+        assert_eq!(s.vs_cpu, 150.0);
+        assert_eq!(s.vs_gpu, 10.0);
+        assert_eq!(s.vs_baseline, 3.0);
+        assert_eq!(s.vs_eie, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let awb = vec![result(Platform::AwbGcn, 1.0)];
+        let empty: Vec<PlatformResult> = Vec::new();
+        SpeedupSummary::from_results(&awb, &empty, &empty, &empty, &empty);
+    }
+}

@@ -1,0 +1,95 @@
+use awb_datasets::DatasetSpec;
+
+/// One SPMM's workload as the platform models see it: scalar MAC count and
+/// the density of the sparse operand (which determines how efficiently a
+/// library kernel can run it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpmmWorkload {
+    /// Stage label (`"L1:X*W"` etc.).
+    pub label: &'static str,
+    /// Multiply-accumulate operations.
+    pub ops: u64,
+    /// Density of the sparse operand.
+    pub density: f64,
+}
+
+/// Decomposes a 2-layer GCN into its four SPMMs analytically from the
+/// spec's published statistics (paper Tables 1 → 2).
+///
+/// Uses the chosen order `A × (X × W)`:
+/// `ops(X×W) = nnz(X)·f_out`, `ops(A×XW) = nnz(A)·f_out`.
+///
+/// # Example
+///
+/// ```
+/// use awb_datasets::DatasetSpec;
+/// use awb_platforms::workload_spmms;
+///
+/// let spmms = workload_spmms(&DatasetSpec::cora());
+/// let total: u64 = spmms.iter().map(|s| s.ops).sum();
+/// // Paper Table 2 "ALL" for Cora: 1.33M MACs.
+/// assert!((total as f64 - 1.33e6).abs() / 1.33e6 < 0.05);
+/// ```
+pub fn workload_spmms(spec: &DatasetSpec) -> Vec<SpmmWorkload> {
+    let n = spec.nodes as f64;
+    let nnz_a = n * n * spec.a_density;
+    let nnz_x1 = n * spec.f1 as f64 * spec.x1_density;
+    let nnz_x2 = n * spec.f2 as f64 * spec.x2_density_paper;
+    vec![
+        SpmmWorkload {
+            label: "L1:X*W",
+            ops: (nnz_x1 * spec.f2 as f64).round() as u64,
+            density: spec.x1_density,
+        },
+        SpmmWorkload {
+            label: "L1:A*(XW)",
+            ops: (nnz_a * spec.f2 as f64).round() as u64,
+            density: spec.a_density,
+        },
+        SpmmWorkload {
+            label: "L2:X*W",
+            ops: (nnz_x2 * spec.f3 as f64).round() as u64,
+            density: spec.x2_density_paper,
+        },
+        SpmmWorkload {
+            label: "L2:A*(XW)",
+            ops: (nnz_a * spec.f3 as f64).round() as u64,
+            density: spec.a_density,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper_table2() {
+        // (spec, paper ALL Ax(XxW) MACs)
+        let cases = [
+            (DatasetSpec::cora(), 1.33e6),
+            (DatasetSpec::citeseer(), 2.23e6),
+            (DatasetSpec::pubmed(), 18.6e6),
+            (DatasetSpec::nell(), 782e6),
+            (DatasetSpec::reddit(), 6.6e9),
+        ];
+        for (spec, paper) in cases {
+            let total: u64 = workload_spmms(&spec).iter().map(|s| s.ops).sum();
+            let rel = (total as f64 - paper).abs() / paper;
+            // 15%: the paper's Table 2 does not perfectly reconcile with
+            // its own Table 1 densities for Reddit layer 2 (see
+            // EXPERIMENTS.md); every other dataset is within a few percent.
+            assert!(rel < 0.15, "{}: {total} vs paper {paper}", spec.name);
+        }
+    }
+
+    #[test]
+    fn four_spmms_in_order() {
+        let s = workload_spmms(&DatasetSpec::pubmed());
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].label, "L1:X*W");
+        assert_eq!(s[3].label, "L2:A*(XW)");
+        // Layer-2 adjacency pass is cheaper than layer-1 (f3 < f2).
+        assert!(s[3].ops < s[1].ops);
+    }
+}

@@ -1,0 +1,281 @@
+use crate::{Csc, Csr, DenseMatrix, Result, SparseError};
+
+/// Coordinate-format (triplet) sparse matrix.
+///
+/// COO is the construction format: graph generators emit `(row, col, value)`
+/// triplets, which are then compiled to [`Csr`] or [`Csc`] for computation.
+///
+/// # Example
+///
+/// ```
+/// use awb_sparse::Coo;
+///
+/// # fn main() -> Result<(), awb_sparse::SparseError> {
+/// let mut m = Coo::new(2, 2);
+/// m.push(0, 0, 1.0)?;
+/// m.push(1, 1, 2.0)?;
+/// assert_eq!(m.nnz(), 2);
+/// let csr = m.to_csr();
+/// assert_eq!(csr.nnz(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl Coo {
+    /// Creates an empty `rows x cols` COO matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension exceeds `u32::MAX` (indices are stored as
+    /// `u32` — the largest paper dataset, Reddit, has 233 K rows).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "matrix dimensions exceed u32 index space"
+        );
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends an entry. Duplicate coordinates are summed when compiled to a
+    /// compressed format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] for indices outside the
+    /// matrix shape.
+    pub fn push(&mut self, row: usize, col: usize, value: f32) -> Result<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.rows, self.cols),
+            });
+        }
+        self.entries.push((row as u32, col as u32, value));
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries (before duplicate merging).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over stored `(row, col, value)` triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Reserves capacity for `additional` more entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
+    /// Compiles to CSR, summing duplicate coordinates and dropping explicit
+    /// zeros that result from cancellation.
+    pub fn to_csr(&self) -> Csr {
+        let (ptr, idx, val) = compress(
+            self.rows,
+            self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v)),
+            self.nnz(),
+        );
+        Csr::from_parts(self.rows, self.cols, ptr, idx, val)
+            .expect("compression produces a well-formed CSR")
+    }
+
+    /// Compiles to CSC, summing duplicate coordinates.
+    pub fn to_csc(&self) -> Csc {
+        let (ptr, idx, val) = compress(
+            self.cols,
+            self.entries.iter().map(|&(r, c, v)| (c as usize, r as usize, v)),
+            self.nnz(),
+        );
+        Csc::from_parts(self.rows, self.cols, ptr, idx, val)
+            .expect("compression produces a well-formed CSC")
+    }
+
+    /// Materializes as a dense matrix (duplicates summed).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            let cur = d.get(r, c);
+            d.set(r, c, cur + v);
+        }
+        d
+    }
+}
+
+impl FromIterator<(usize, usize, f32)> for Coo {
+    /// Collects triplets, sizing the matrix to the largest index seen.
+    fn from_iter<I: IntoIterator<Item = (usize, usize, f32)>>(iter: I) -> Self {
+        let entries: Vec<(usize, usize, f32)> = iter.into_iter().collect();
+        let rows = entries.iter().map(|e| e.0 + 1).max().unwrap_or(0);
+        let cols = entries.iter().map(|e| e.1 + 1).max().unwrap_or(0);
+        let mut coo = Coo::new(rows, cols);
+        for (r, c, v) in entries {
+            coo.push(r, c, v).expect("indices within computed bounds");
+        }
+        coo
+    }
+}
+
+/// Shared compression: buckets `(major, minor, value)` triplets by `major`,
+/// sorts each bucket by `minor`, and sums duplicates.
+fn compress(
+    n_major: usize,
+    triplets: impl Iterator<Item = (usize, usize, f32)>,
+    nnz_hint: usize,
+) -> (Vec<usize>, Vec<u32>, Vec<f32>) {
+    // Counting pass requires a concrete collection; collect once.
+    let triplets: Vec<(usize, usize, f32)> = triplets.collect();
+    let mut counts = vec![0usize; n_major + 1];
+    for &(maj, _, _) in &triplets {
+        counts[maj + 1] += 1;
+    }
+    for i in 0..n_major {
+        counts[i + 1] += counts[i];
+    }
+    let mut idx = vec![0u32; nnz_hint];
+    let mut val = vec![0.0f32; nnz_hint];
+    let mut cursor = counts.clone();
+    for &(maj, min, v) in &triplets {
+        let p = cursor[maj];
+        idx[p] = min as u32;
+        val[p] = v;
+        cursor[maj] += 1;
+    }
+    // Sort within each major bucket by minor index, then merge duplicates.
+    let mut out_ptr = vec![0usize; n_major + 1];
+    let mut out_idx = Vec::with_capacity(nnz_hint);
+    let mut out_val = Vec::with_capacity(nnz_hint);
+    for maj in 0..n_major {
+        let (lo, hi) = (counts[maj], counts[maj + 1]);
+        let mut bucket: Vec<(u32, f32)> = idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(val[lo..hi].iter().copied())
+            .collect();
+        bucket.sort_unstable_by_key(|&(m, _)| m);
+        let mut i = 0;
+        while i < bucket.len() {
+            let m = bucket[i].0;
+            let mut sum = 0.0;
+            while i < bucket.len() && bucket[i].0 == m {
+                sum += bucket[i].1;
+                i += 1;
+            }
+            if sum != 0.0 {
+                out_idx.push(m);
+                out_val.push(sum);
+            }
+        }
+        out_ptr[maj + 1] = out_idx.len();
+    }
+    (out_ptr, out_idx, out_val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_bounds_checked() {
+        let mut m = Coo::new(2, 2);
+        assert!(m.push(0, 0, 1.0).is_ok());
+        assert!(matches!(
+            m.push(2, 0, 1.0),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicates_are_summed_in_compressed_forms() {
+        let mut m = Coo::new(2, 2);
+        m.push(0, 1, 1.0).unwrap();
+        m.push(0, 1, 2.5).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.to_dense().get(0, 1), 3.5);
+        let csc = m.to_csc();
+        assert_eq!(csc.nnz(), 1);
+        assert_eq!(csc.to_dense().get(0, 1), 3.5);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let mut m = Coo::new(1, 1);
+        m.push(0, 0, 1.0).unwrap();
+        m.push(0, 0, -1.0).unwrap();
+        assert_eq!(m.to_csr().nnz(), 0);
+        assert_eq!(m.to_csc().nnz(), 0);
+    }
+
+    #[test]
+    fn to_dense_matches_entries() {
+        let mut m = Coo::new(3, 2);
+        m.push(2, 0, 4.0).unwrap();
+        m.push(0, 1, -1.0).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d.get(2, 0), 4.0);
+        assert_eq!(d.get(0, 1), -1.0);
+        assert_eq!(d.nnz(), 2);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max_index() {
+        let coo: Coo = vec![(0usize, 0usize, 1.0f32), (3, 1, 2.0)].into_iter().collect();
+        assert_eq!(coo.shape(), (4, 2));
+        assert_eq!(coo.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_from_iterator() {
+        let coo: Coo = std::iter::empty().collect();
+        assert_eq!(coo.shape(), (0, 0));
+        assert_eq!(coo.nnz(), 0);
+    }
+
+    #[test]
+    fn csr_csc_agree_with_dense() {
+        let mut m = Coo::new(4, 3);
+        for (r, c, v) in [(0, 0, 1.0), (1, 2, 2.0), (3, 1, -1.0), (3, 2, 0.5)] {
+            m.push(r, c, v).unwrap();
+        }
+        assert_eq!(m.to_csr().to_dense(), m.to_dense());
+        assert_eq!(m.to_csc().to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn iter_yields_all_triplets() {
+        let mut m = Coo::new(2, 2);
+        m.push(0, 1, 7.0).unwrap();
+        m.push(1, 0, 8.0).unwrap();
+        let got: Vec<_> = m.iter().collect();
+        assert_eq!(got, vec![(0, 1, 7.0), (1, 0, 8.0)]);
+    }
+}

@@ -1,0 +1,418 @@
+use crate::{Coo, Result, SparseError};
+
+/// A row-major dense `f32` matrix.
+///
+/// Used for the dense operands of the accelerator (the weight matrices `W`
+/// and the intermediate `XW` products) and as the ground-truth result format
+/// for functional verification.
+///
+/// # Example
+///
+/// ```
+/// use awb_sparse::DenseMatrix;
+///
+/// # fn main() -> Result<(), awb_sparse::SparseError> {
+/// let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.transpose().get(0, 1), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    ///
+    /// ```
+    /// use awb_sparse::DenseMatrix;
+    /// let z = DenseMatrix::zeros(2, 3);
+    /// assert_eq!(z.shape(), (2, 3));
+    /// assert_eq!(z.nnz(), 0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::RaggedRows`] if the rows have differing
+    /// lengths.
+    pub fn from_rows<R: AsRef<[f32]>>(rows: &[R]) -> Result<Self> {
+        let n_cols = rows.first().map_or(0, |r| r.as_ref().len());
+        let mut data = Vec::with_capacity(rows.len() * n_cols);
+        for (i, r) in rows.iter().enumerate() {
+            let r = r.as_ref();
+            if r.len() != n_cols {
+                return Err(SparseError::RaggedRows {
+                    expected: n_cols,
+                    row: i,
+                    found: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(DenseMatrix {
+            rows: rows.len(),
+            cols: n_cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::MalformedFormat`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(SparseError::MalformedFormat(format!(
+                "dense data length {} != {rows} * {cols}",
+                data.len()
+            )));
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows row `row` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copies column `col` into a new vector.
+    ///
+    /// The accelerator streams the dense operand column by column; this is
+    /// the software analogue of one "round" worth of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    pub fn column(&self, col: usize) -> Vec<f32> {
+        assert!(col < self.cols, "column {col} out of bounds");
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// The underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes the matrix and returns the row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// Fraction of entries that are non-zero (`nnz / (rows*cols)`).
+    ///
+    /// Returns 0.0 for an empty matrix.
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Applies ReLU (`max(0, x)`) element-wise, in place.
+    ///
+    /// This is the activation `σ(.)` of the paper's Eq. 1.
+    pub fn relu_in_place(&mut self) {
+        for v in &mut self.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Returns a ReLU-ed copy.
+    pub fn relu(&self) -> DenseMatrix {
+        let mut out = self.clone();
+        out.relu_in_place();
+        out
+    }
+
+    /// Dense-dense matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if
+    /// `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != rhs.rows {
+            return Err(SparseError::DimensionMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul",
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                for (o, b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Converts to COO, keeping entries with `|v| > threshold`.
+    pub fn to_coo(&self, threshold: f32) -> Coo {
+        let mut coo = Coo::new(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.get(r, c);
+                if v.abs() > threshold {
+                    coo.push(r, c, v).expect("index in bounds by construction");
+                }
+            }
+        }
+        coo
+    }
+
+    /// True when every entry differs from `other` by at most `tol`.
+    ///
+    /// Returns `false` when shapes differ. Used for functional equivalence
+    /// checks between the accelerator and the software reference.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Largest absolute element-wise difference to `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> Result<f32> {
+        if self.shape() != other.shape() {
+            return Err(SparseError::DimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "max_abs_diff",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.density(), 0.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = DenseMatrix::from_rows(&[&[1.0, 2.0][..], &[3.0][..]]).unwrap_err();
+        assert_eq!(
+            err,
+            SparseError::RaggedRows {
+                expected: 2,
+                row: 1,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(DenseMatrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.set(1, 0, 5.0);
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.nnz(), 1);
+        assert!((m.density() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        DenseMatrix::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn row_and_column_views() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.column(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (3, 2));
+        assert_eq!(m.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = DenseMatrix::from_rows(&[&[-1.0, 2.0], &[0.0, -3.5]]).unwrap();
+        m.relu_in_place();
+        assert_eq!(m.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(SparseError::DimensionMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[1.0005, 2.0]]).unwrap();
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-5));
+        let c = DenseMatrix::zeros(1, 3);
+        assert!(!a.approx_eq(&c, 1.0));
+    }
+
+    #[test]
+    fn max_abs_diff_reports_largest() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[0.5, 2.25]]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        assert!(a.max_abs_diff(&DenseMatrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn to_coo_respects_threshold() {
+        let m = DenseMatrix::from_rows(&[&[0.0, 0.5], &[1.5, 0.0]]).unwrap();
+        let coo = m.to_coo(1.0);
+        assert_eq!(coo.nnz(), 1);
+        let coo = m.to_coo(0.0);
+        assert_eq!(coo.nnz(), 2);
+    }
+}

@@ -1,0 +1,296 @@
+//! Matrix Market (`.mtx`) import/export.
+//!
+//! The synthetic generators in `awb-datasets` reproduce the published
+//! statistics of the paper's datasets, but a user who has the original
+//! graphs (or any other SuiteSparse-style matrix) can feed them to the
+//! simulator through this module: `coordinate real/integer/pattern`
+//! matrices in `general` or `symmetric` form are supported, which covers
+//! the common ways GCN adjacency matrices are distributed.
+
+use crate::{Coo, Result, SparseError};
+use std::io::{BufRead, Write};
+
+/// Value type declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MmField {
+    Real,
+    Integer,
+    /// Pattern matrices carry no values; entries read as 1.0.
+    Pattern,
+}
+
+/// Symmetry declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MmSymmetry {
+    General,
+    /// Off-diagonal entries are mirrored on read.
+    Symmetric,
+}
+
+/// Reads a sparse matrix in Matrix Market coordinate format.
+///
+/// # Errors
+///
+/// Returns [`SparseError::MalformedFormat`] for syntax errors, unsupported
+/// header variants (`array` storage, `complex`/`hermitian`/`skew-symmetric`
+/// qualifiers), out-of-range indices, or entry-count mismatches.
+///
+/// # Example
+///
+/// ```
+/// use awb_sparse::io::read_matrix_market;
+///
+/// let text = "%%MatrixMarket matrix coordinate real general\n\
+///             % a comment\n\
+///             3 3 2\n\
+///             1 2 5.0\n\
+///             3 1 -1.5\n";
+/// let coo = read_matrix_market(text.as_bytes()).unwrap();
+/// assert_eq!(coo.shape(), (3, 3));
+/// assert_eq!(coo.to_dense().get(0, 1), 5.0);
+/// assert_eq!(coo.to_dense().get(2, 0), -1.5);
+/// ```
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Coo> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::MalformedFormat("empty file".into()))?
+        .map_err(io_err)?;
+    let (field, symmetry) = parse_header(&header)?;
+
+    // Skip comments; the first non-comment line is the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(io_err)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line =
+        size_line.ok_or_else(|| SparseError::MalformedFormat("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| SparseError::MalformedFormat(format!("bad size token `{t}`")))
+        })
+        .collect::<Result<_>>()?;
+    let [rows, cols, nnz] = dims[..] else {
+        return Err(SparseError::MalformedFormat(format!(
+            "size line needs `rows cols nnz`, got `{size_line}`"
+        )));
+    };
+
+    let mut coo = Coo::new(rows, cols);
+    coo.reserve(if symmetry == MmSymmetry::Symmetric {
+        nnz * 2
+    } else {
+        nnz
+    });
+    let mut read = 0usize;
+    for line in lines {
+        let line = line.map_err(io_err)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let r: usize = parse_index(tokens.next(), "row")?;
+        let c: usize = parse_index(tokens.next(), "column")?;
+        let v: f32 = match field {
+            MmField::Pattern => 1.0,
+            MmField::Real | MmField::Integer => {
+                let t = tokens.next().ok_or_else(|| {
+                    SparseError::MalformedFormat("missing value token".into())
+                })?;
+                t.parse::<f32>()
+                    .map_err(|_| SparseError::MalformedFormat(format!("bad value `{t}`")))?
+            }
+        };
+        // Matrix Market is 1-indexed.
+        if r == 0 || c == 0 {
+            return Err(SparseError::MalformedFormat(
+                "matrix market indices are 1-based; found 0".into(),
+            ));
+        }
+        coo.push(r - 1, c - 1, v)?;
+        if symmetry == MmSymmetry::Symmetric && r != c {
+            coo.push(c - 1, r - 1, v)?;
+        }
+        read += 1;
+    }
+    if read != nnz {
+        return Err(SparseError::MalformedFormat(format!(
+            "header declared {nnz} entries, file contained {read}"
+        )));
+    }
+    Ok(coo)
+}
+
+/// Writes a matrix in Matrix Market `coordinate real general` format.
+///
+/// # Errors
+///
+/// Returns [`SparseError::MalformedFormat`] wrapping any I/O failure.
+///
+/// # Example
+///
+/// ```
+/// use awb_sparse::io::{read_matrix_market, write_matrix_market};
+/// use awb_sparse::Coo;
+///
+/// let mut m = Coo::new(2, 2);
+/// m.push(0, 1, 2.5).unwrap();
+/// let mut buf = Vec::new();
+/// write_matrix_market(&mut buf, &m).unwrap();
+/// let back = read_matrix_market(buf.as_slice()).unwrap();
+/// assert_eq!(back.to_dense(), m.to_dense());
+/// ```
+pub fn write_matrix_market<W: Write>(writer: &mut W, m: &Coo) -> Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general").map_err(io_err)?;
+    writeln!(writer, "% written by awb-sparse").map_err(io_err)?;
+    writeln!(writer, "{} {} {}", m.rows(), m.cols(), m.nnz()).map_err(io_err)?;
+    for (r, c, v) in m.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn parse_header(header: &str) -> Result<(MmField, MmSymmetry)> {
+    let tokens: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    let [banner, object, format, field, symmetry] = &tokens[..] else {
+        return Err(SparseError::MalformedFormat(format!(
+            "bad matrix market header `{header}`"
+        )));
+    };
+    if banner != "%%matrixmarket" || object != "matrix" {
+        return Err(SparseError::MalformedFormat(format!(
+            "not a matrix market file: `{header}`"
+        )));
+    }
+    if format != "coordinate" {
+        return Err(SparseError::MalformedFormat(format!(
+            "only coordinate storage is supported, got `{format}`"
+        )));
+    }
+    let field = match field.as_str() {
+        "real" => MmField::Real,
+        "integer" => MmField::Integer,
+        "pattern" => MmField::Pattern,
+        other => {
+            return Err(SparseError::MalformedFormat(format!(
+                "unsupported field type `{other}`"
+            )))
+        }
+    };
+    let symmetry = match symmetry.as_str() {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        other => {
+            return Err(SparseError::MalformedFormat(format!(
+                "unsupported symmetry `{other}`"
+            )))
+        }
+    };
+    Ok((field, symmetry))
+}
+
+fn parse_index(token: Option<&str>, what: &str) -> Result<usize> {
+    let t = token
+        .ok_or_else(|| SparseError::MalformedFormat(format!("missing {what} index")))?;
+    t.parse::<usize>()
+        .map_err(|_| SparseError::MalformedFormat(format!("bad {what} index `{t}`")))
+}
+
+fn io_err(e: std::io::Error) -> SparseError {
+    SparseError::MalformedFormat(format!("io error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_real_general() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 3 2\n1 1 1.5\n2 3 -2\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 0), 1.5);
+        assert_eq!(d.get(1, 2), -2.0);
+    }
+
+    #[test]
+    fn reads_pattern_symmetric() {
+        let text =
+            "%%MatrixMarket matrix coordinate pattern symmetric\n% adjacency\n3 3 2\n2 1\n3 3\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d.get(1, 0), 1.0);
+        assert_eq!(d.get(0, 1), 1.0); // mirrored
+        assert_eq!(d.get(2, 2), 1.0); // diagonal not duplicated
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn reads_integer_field() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.to_dense().get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "%%MatrixMarket matrix coordinate real general\n%c1\n\n% c2\n2 2 1\n\n1 2 3\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        for text in [
+            "",
+            "plain garbage\n1 1 0\n",
+            "%%MatrixMarket matrix array real general\n1 1 0\n",
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+            "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+        ] {
+            assert!(
+                read_matrix_market(text.as_bytes()).is_err(),
+                "accepted: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistencies() {
+        // Declared 2 entries, has 1.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+        // Zero-based index.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+        // Out-of-range index.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+        // Missing value.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let mut m = Coo::new(4, 5);
+        for (r, c, v) in [(0, 0, 1.0f32), (3, 4, -2.5), (1, 2, 0.125)] {
+            m.push(r, c, v).unwrap();
+        }
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back.shape(), m.shape());
+        assert_eq!(back.to_dense(), m.to_dense());
+    }
+}

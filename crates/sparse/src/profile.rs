@@ -1,0 +1,348 @@
+//! Non-zero pattern profiling.
+//!
+//! Backs the paper's Table 1 (density/dimension profiling), Fig. 1 (block
+//! heatmaps of adjacency clustering), and Fig. 13 (nnz-per-row
+//! distributions). Also provides the imbalance metrics used throughout the
+//! evaluation discussion (a power-law adjacency has a heavy-tailed row-nnz
+//! distribution, which is exactly what defeats static row partitioning).
+
+use crate::Csr;
+
+/// Summary statistics of a row-nnz (or any workload) distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnzStats {
+    /// Number of rows.
+    pub count: usize,
+    /// Total non-zeros.
+    pub total: usize,
+    /// Minimum per-row count.
+    pub min: usize,
+    /// Maximum per-row count.
+    pub max: usize,
+    /// Mean per-row count.
+    pub mean: f64,
+    /// Standard deviation of per-row counts.
+    pub std_dev: f64,
+    /// Coefficient of variation (`std_dev / mean`; 0 when mean is 0).
+    pub cv: f64,
+    /// Gini coefficient of the distribution (0 = perfectly even,
+    /// → 1 = concentrated on few rows).
+    pub gini: f64,
+    /// `max / mean` — the slowdown a perfectly static equal partition would
+    /// suffer if one PE owned only the heaviest row.
+    pub imbalance_factor: f64,
+}
+
+/// Computes [`NnzStats`] over an arbitrary per-item workload vector.
+///
+/// # Example
+///
+/// ```
+/// use awb_sparse::profile::workload_stats;
+///
+/// let s = workload_stats(&[1, 1, 1, 1]);
+/// assert_eq!(s.cv, 0.0);
+/// assert_eq!(s.gini, 0.0);
+/// let skew = workload_stats(&[0, 0, 0, 100]);
+/// assert!(skew.gini > 0.7);
+/// ```
+pub fn workload_stats(counts: &[usize]) -> NnzStats {
+    let count = counts.len();
+    if count == 0 {
+        return NnzStats {
+            count: 0,
+            total: 0,
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            cv: 0.0,
+            gini: 0.0,
+            imbalance_factor: 1.0,
+        };
+    }
+    let total: usize = counts.iter().sum();
+    let min = *counts.iter().min().expect("non-empty");
+    let max = *counts.iter().max().expect("non-empty");
+    let mean = total as f64 / count as f64;
+    let var = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / count as f64;
+    let std_dev = var.sqrt();
+    let cv = if mean > 0.0 { std_dev / mean } else { 0.0 };
+    let gini = gini_coefficient(counts);
+    let imbalance_factor = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+    NnzStats {
+        count,
+        total,
+        min,
+        max,
+        mean,
+        std_dev,
+        cv,
+        gini,
+        imbalance_factor,
+    }
+}
+
+/// Gini coefficient of a non-negative workload distribution.
+///
+/// Uses the sorted-rank formula `G = (2·Σ i·x_i)/(n·Σ x_i) − (n+1)/n`.
+/// Returns 0 for empty or all-zero input.
+pub fn gini_coefficient(counts: &[usize]) -> f64 {
+    let n = counts.len();
+    let total: usize = counts.iter().sum();
+    if n == 0 || total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<usize> = counts.to_vec();
+    sorted.sort_unstable();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i + 1) as f64 * x as f64)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+/// Profiles the row-nnz distribution of a CSR matrix.
+pub fn row_nnz_stats(m: &Csr) -> NnzStats {
+    workload_stats(&m.row_nnz_counts())
+}
+
+/// Log-2-binned histogram of per-row nnz counts: `bins[i]` counts rows with
+/// nnz in `[2^(i-1)+1 .. 2^i]`, with `bins[0]` counting empty rows and
+/// `bins[1]` rows with exactly 1.
+///
+/// This is the series plotted in the paper's Fig. 13.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RowNnzHistogram {
+    /// Bin counts (see type-level docs for bin semantics).
+    pub bins: Vec<usize>,
+}
+
+impl RowNnzHistogram {
+    /// Builds the histogram for `m`.
+    pub fn of(m: &Csr) -> Self {
+        let mut bins: Vec<usize> = Vec::new();
+        for nnz in m.row_nnz_counts() {
+            let bin = if nnz == 0 {
+                0
+            } else {
+                (usize::BITS - (nnz - 1).leading_zeros()) as usize + 1
+            };
+            if bins.len() <= bin {
+                bins.resize(bin + 1, 0);
+            }
+            bins[bin] += 1;
+        }
+        RowNnzHistogram { bins }
+    }
+
+    /// Upper edge of bin `i` (inclusive): 0, 1, 2, 4, 8, ...
+    pub fn bin_upper_edge(i: usize) -> usize {
+        match i {
+            0 => 0,
+            _ => 1usize << (i - 1),
+        }
+    }
+
+    /// Renders the histogram rows as `(upper_edge, count)` pairs.
+    pub fn series(&self) -> Vec<(usize, usize)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (Self::bin_upper_edge(i), c))
+            .collect()
+    }
+}
+
+/// A `grid x grid` block census of the non-zero positions — the data behind
+/// the paper's Fig. 1 scatter plots of adjacency clustering.
+///
+/// `counts[by][bx]` is the number of non-zeros whose (row, col) falls in
+/// block (by, bx).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeatmap {
+    /// Grid resolution per side.
+    pub grid: usize,
+    /// Row-major `grid*grid` block counts.
+    pub counts: Vec<usize>,
+}
+
+impl BlockHeatmap {
+    /// Builds a `grid x grid` census of `m`'s pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid == 0`.
+    pub fn of(m: &Csr, grid: usize) -> Self {
+        assert!(grid > 0, "grid must be positive");
+        let mut counts = vec![0usize; grid * grid];
+        let (rows, cols) = (m.rows().max(1), m.cols().max(1));
+        for (r, c, _) in m.iter() {
+            let by = r * grid / rows;
+            let bx = c * grid / cols;
+            counts[by.min(grid - 1) * grid + bx.min(grid - 1)] += 1;
+        }
+        BlockHeatmap { grid, counts }
+    }
+
+    /// Count in block `(by, bx)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is `>= grid`.
+    pub fn get(&self, by: usize, bx: usize) -> usize {
+        assert!(by < self.grid && bx < self.grid, "block index out of range");
+        self.counts[by * self.grid + bx]
+    }
+
+    /// Renders an ASCII intensity map (rows = blocks), useful in bench
+    /// output. Intensity ramp: `' ' . : + * #`.
+    pub fn render_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:+*#";
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::with_capacity(self.grid * (self.grid + 1));
+        for by in 0..self.grid {
+            for bx in 0..self.grid {
+                let v = self.get(by, bx);
+                let idx = if v == 0 {
+                    0
+                } else {
+                    // log-scaled intensity so sparse structure stays visible
+                    let l = (v as f64).ln() / (max as f64).ln();
+                    1 + ((RAMP.len() - 2) as f64 * l).round() as usize
+                };
+                out.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fraction of all non-zeros contained in the densest `k` blocks — a
+    /// scalar measure of clustering ("remote imbalance" potential).
+    pub fn top_k_concentration(&self, k: usize) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut sorted = self.counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        sorted.iter().take(k).sum::<usize>() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn diag(n: usize) -> Csr {
+        let mut m = Coo::new(n, n);
+        for i in 0..n {
+            m.push(i, i, 1.0).unwrap();
+        }
+        m.to_csr()
+    }
+
+    #[test]
+    fn stats_uniform_distribution() {
+        let s = row_nnz_stats(&diag(8));
+        assert_eq!(s.count, 8);
+        assert_eq!(s.total, 8);
+        assert_eq!((s.min, s.max), (1, 1));
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.cv, 0.0);
+        assert_eq!(s.gini, 0.0);
+        assert_eq!(s.imbalance_factor, 1.0);
+    }
+
+    #[test]
+    fn stats_skewed_distribution() {
+        let mut m = Coo::new(4, 8);
+        for c in 0..8 {
+            m.push(0, c, 1.0).unwrap(); // row 0 owns everything
+        }
+        let s = row_nnz_stats(&m.to_csr());
+        assert_eq!(s.max, 8);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.imbalance_factor, 4.0);
+        assert!(s.gini > 0.7);
+        assert!(s.cv > 1.0);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = workload_stats(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.gini, 0.0);
+        assert_eq!(s.imbalance_factor, 1.0);
+    }
+
+    #[test]
+    fn gini_known_values() {
+        assert_eq!(gini_coefficient(&[5, 5, 5, 5]), 0.0);
+        // all mass on one of n items -> G = (n-1)/n
+        let g = gini_coefficient(&[0, 0, 0, 12]);
+        assert!((g - 0.75).abs() < 1e-12);
+        assert_eq!(gini_coefficient(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins() {
+        // rows with nnz 0,1,2,3,4,5 map to bins 0,1,2,3,3,4
+        let mut m = Coo::new(6, 8);
+        for (row, n) in [(1usize, 1usize), (2, 2), (3, 3), (4, 4), (5, 5)] {
+            for c in 0..n {
+                m.push(row, c, 1.0).unwrap();
+            }
+        }
+        let h = RowNnzHistogram::of(&m.to_csr());
+        assert_eq!(h.bins, vec![1, 1, 1, 2, 1]);
+        assert_eq!(RowNnzHistogram::bin_upper_edge(0), 0);
+        assert_eq!(RowNnzHistogram::bin_upper_edge(3), 4);
+        let series = h.series();
+        assert_eq!(series[3], (4, 2));
+    }
+
+    #[test]
+    fn heatmap_counts_blocks() {
+        // 4x4 matrix, 2x2 grid: nnz at (0,0) and (3,3)
+        let mut m = Coo::new(4, 4);
+        m.push(0, 0, 1.0).unwrap();
+        m.push(3, 3, 1.0).unwrap();
+        let h = BlockHeatmap::of(&m.to_csr(), 2);
+        assert_eq!(h.get(0, 0), 1);
+        assert_eq!(h.get(1, 1), 1);
+        assert_eq!(h.get(0, 1), 0);
+        assert_eq!(h.top_k_concentration(1), 0.5);
+        assert_eq!(h.top_k_concentration(2), 1.0);
+    }
+
+    #[test]
+    fn heatmap_ascii_has_grid_lines() {
+        let h = BlockHeatmap::of(&diag(16), 4);
+        let art = h.render_ascii();
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.lines().all(|l| l.len() == 4));
+        // diagonal blocks are non-space
+        let lines: Vec<&str> = art.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            assert_ne!(line.as_bytes()[i], b' ');
+        }
+    }
+
+    #[test]
+    fn heatmap_empty_matrix() {
+        let h = BlockHeatmap::of(&Csr::empty(5, 5), 3);
+        assert_eq!(h.counts.iter().sum::<usize>(), 0);
+        assert_eq!(h.top_k_concentration(3), 0.0);
+    }
+}

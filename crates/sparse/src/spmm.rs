@@ -1,0 +1,206 @@
+//! Reference multiply kernels.
+//!
+//! These are the software ground truth that the accelerator simulator's
+//! functional output is cross-checked against. `csc_times_dense` mirrors the
+//! accelerator's own column-streaming schedule (paper Eq. 4 / Fig. 5):
+//! for each output column `k`, each non-zero `b(j,k)` of the dense operand
+//! is broadcast to the whole column `j` of the sparse operand.
+
+use crate::{Csc, Csr, DenseMatrix, Result, SparseError};
+
+/// `C = A * B` with `A` sparse (CSC) and `B` dense — the accelerator's
+/// native schedule.
+///
+/// For each column `k` of `B` ("round" in the paper's terminology) and each
+/// non-zero `b(j, k)`, the entire sparse column `A[:, j]` is scaled and
+/// accumulated into `C[:, k]`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use awb_sparse::{Coo, DenseMatrix, spmm};
+///
+/// # fn main() -> Result<(), awb_sparse::SparseError> {
+/// let mut a = Coo::new(2, 2);
+/// a.push(0, 0, 2.0)?;
+/// let b = DenseMatrix::from_rows(&[&[1.0], &[1.0]])?;
+/// let c = spmm::csc_times_dense(&a.to_csc(), &b)?;
+/// assert_eq!(c.get(0, 0), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn csc_times_dense(a: &Csc, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "csc_times_dense",
+        });
+    }
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    for k in 0..b.cols() {
+        for j in 0..a.cols() {
+            let bjk = b.get(j, k);
+            if bjk == 0.0 {
+                continue;
+            }
+            for (i, aij) in a.col_entries(j) {
+                let cur = c.get(i, k);
+                c.set(i, k, cur + aij * bjk);
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C = A * B` with `A` sparse (CSR) and `B` dense — the conventional
+/// row-major schedule, used as an independent second reference.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn csr_times_dense(a: &Csr, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "csr_times_dense",
+        });
+    }
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for (j, aij) in a.row_entries(i) {
+            let b_row = b.row(j);
+            let c_row = c.row_mut(i);
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aij * bv;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C = A * B` with both operands sparse (SpGEMM), returning a dense result.
+///
+/// GCN layers never need a sparse output (the result of `A × (XW)` is
+/// near-dense — paper §3.3), so the dense result format is deliberate.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn csr_times_csr(a: &Csr, b: &Csr) -> Result<DenseMatrix> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "csr_times_csr",
+        });
+    }
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for (j, aij) in a.row_entries(i) {
+            for (k, bjk) in b.row_entries(j) {
+                let cur = c.get(i, k);
+                c.set(i, k, cur + aij * bjk);
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Number of scalar multiply-accumulate operations performed by
+/// [`csc_times_dense`] for the given operands: one MAC per
+/// (non-zero of `A[:, j]`, non-zero `b(j, k)`) pair.
+///
+/// This equals the number of *tasks* the accelerator dispatches to its PE
+/// array for the same SPMM.
+pub fn csc_times_dense_macs(a: &Csc, b: &DenseMatrix) -> usize {
+    let mut macs = 0usize;
+    for k in 0..b.cols() {
+        for j in 0..a.cols().min(b.rows()) {
+            if b.get(j, k) != 0.0 {
+                macs += a.col_nnz(j);
+            }
+        }
+    }
+    macs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sparse_3x3() -> Coo {
+        let mut a = Coo::new(3, 3);
+        for (r, c, v) in [(0, 1, 2.0), (1, 1, -1.0), (2, 0, 3.0), (2, 2, 4.0)] {
+            a.push(r, c, v).unwrap();
+        }
+        a
+    }
+
+    fn dense_3x2() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn csc_schedule_matches_dense_matmul() {
+        let a = sparse_3x3();
+        let b = dense_3x2();
+        let expect = a.to_dense().matmul(&b).unwrap();
+        let got = csc_times_dense(&a.to_csc(), &b).unwrap();
+        assert!(got.approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn csr_schedule_matches_dense_matmul() {
+        let a = sparse_3x3();
+        let b = dense_3x2();
+        let expect = a.to_dense().matmul(&b).unwrap();
+        let got = csr_times_dense(&a.to_csr(), &b).unwrap();
+        assert!(got.approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let a = sparse_3x3();
+        let b = sparse_3x3();
+        let expect = a.to_dense().matmul(&b.to_dense()).unwrap();
+        let got = csr_times_csr(&a.to_csr(), &b.to_csr()).unwrap();
+        assert!(got.approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = sparse_3x3();
+        let bad = DenseMatrix::zeros(2, 2);
+        assert!(csc_times_dense(&a.to_csc(), &bad).is_err());
+        assert!(csr_times_dense(&a.to_csr(), &bad).is_err());
+        let bad_sparse = Coo::new(2, 2).to_csr();
+        assert!(csr_times_csr(&a.to_csr(), &bad_sparse).is_err());
+    }
+
+    #[test]
+    fn mac_count_matches_manual() {
+        let a = sparse_3x3().to_csc();
+        let b = dense_3x2(); // fully dense: every b(j,k) hits col j of A
+        // per column of B: nnz(A) = 4 MACs; 2 columns -> 8.
+        assert_eq!(csc_times_dense_macs(&a, &b), 8);
+        // Zero out one b entry -> subtract nnz of that column of A.
+        let mut b2 = b.clone();
+        b2.set(1, 0, 0.0); // column 1 of A has 2 nnz
+        assert_eq!(csc_times_dense_macs(&a, &b2), 6);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = Coo::new(0, 0).to_csc();
+        let b = DenseMatrix::zeros(0, 0);
+        let c = csc_times_dense(&a, &b).unwrap();
+        assert_eq!(c.shape(), (0, 0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Multi-hop aggregation: `A × (A × (X × W))` chains (paper §2.1/§3.3).
+//!
+//! Some GCNs aggregate 2-hop neighbourhood information by multiplying with
+//! `A` twice per layer. The paper notes its column pipelining extends to
+//! this case: "the three multiplications can be pipelined". This example
+//! runs a 2-hop layer through the engines and compares the pipelined chain
+//! latency against sequential execution.
+//!
+//! ```sh
+//! cargo run --release --example multi_hop_gcn
+//! ```
+
+use awb_gcn_repro::accel::pipeline::pipeline_chain;
+use awb_gcn_repro::accel::{AccelConfig, Design, FastEngine, SpmmEngine};
+use awb_gcn_repro::datasets::{DatasetSpec, GeneratedDataset};
+use awb_gcn_repro::gcn::GcnInput;
+use awb_gcn_repro::sparse::spmm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = DatasetSpec::cora().with_nodes(1024);
+    let data = GeneratedDataset::generate(&spec, 9)?;
+    let input = GcnInput::from_dataset(&data)?;
+    let config = Design::LocalPlusRemote { hop: 2 }.apply(AccelConfig::builder().n_pes(256).build()?);
+
+    // Stage 1: X × W.
+    let x_csc = input.x1.to_csc();
+    let mut engine_x = FastEngine::new(config.clone());
+    let xw = engine_x.run(&x_csc, &input.weights[0], "X*W")?;
+    // Stage 2: A × (XW) — first hop.
+    let mut engine_a = FastEngine::new(config.clone());
+    let hop1 = engine_a.run(&input.a_norm_csc, &xw.c, "A*(XW)")?;
+    // Stage 3: A × (A × (XW)) — second hop, reusing the tuned A engine.
+    let hop2 = engine_a.run(&input.a_norm_csc, &hop1.c, "A*(A*(XW))")?;
+
+    // Functional check against the reference chain.
+    let expect = {
+        let xw = spmm::csr_times_dense(&input.x1, &input.weights[0])?;
+        let h1 = spmm::csr_times_dense(&input.a_norm, &xw)?;
+        spmm::csr_times_dense(&input.a_norm, &h1)?
+    };
+    let diff = hop2.c.max_abs_diff(&expect)?;
+    println!("2-hop layer verified: max |diff| = {diff:.2e}");
+
+    let chain = [
+        xw.stats.round_cycles(),
+        hop1.stats.round_cycles(),
+        hop2.stats.round_cycles(),
+    ];
+    let stage_refs: Vec<&[u64]> = chain.iter().map(|c| c.as_slice()).collect();
+    let pipelined = pipeline_chain(&stage_refs);
+    let sequential: u64 = chain.iter().map(|c| c.iter().sum::<u64>()).sum();
+    println!(
+        "stage cycles: X*W {} | A*(XW) {} | A*(A*(XW)) {}",
+        chain[0].iter().sum::<u64>(),
+        chain[1].iter().sum::<u64>(),
+        chain[2].iter().sum::<u64>(),
+    );
+    println!(
+        "sequential {} cycles -> pipelined {} cycles ({:.1}% saved);\n\
+         only one column of each intermediate needs on-chip buffering.",
+        sequential,
+        pipelined,
+        100.0 * (sequential - pipelined) as f64 / sequential as f64
+    );
+    // The second A multiply reuses the map tuned during the first: no new
+    // tuning rounds.
+    println!(
+        "A-engine tuning rounds: hop1 {} hop2 {} (tuned once, reused)",
+        hop1.stats.tuning_rounds(),
+        hop2.stats.tuning_rounds()
+    );
+    Ok(())
+}

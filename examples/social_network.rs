@@ -1,0 +1,71 @@
+//! Clustered-hub rebalancing: the Nell-style worst case.
+//!
+//! Knowledge graphs concentrate a large share of all edges on a few hub
+//! entities that are adjacent in index space. Under the baseline's static
+//! block partition this starves most PEs (the paper measures 13%
+//! utilization); local sharing alone cannot fix it because whole PE
+//! neighbourhoods are overloaded — remote switching must move rows across
+//! the array. This example shows that progression and the auto-tuner's
+//! convergence trace.
+//!
+//! ```sh
+//! cargo run --release --example social_network
+//! ```
+
+use awb_gcn_repro::accel::{AccelConfig, Design, GcnRunner};
+use awb_gcn_repro::datasets::{DatasetSpec, GeneratedDataset};
+use awb_gcn_repro::gcn::GcnInput;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Nell-like graph scaled to 1/8 size, PEs scaled alike so rows/PE (and
+    // therefore the balancing problem) matches the paper's setup.
+    let spec = DatasetSpec::nell().scaled(1.0 / 8.0);
+    let data = GeneratedDataset::generate(&spec, 11)?;
+    let input = GcnInput::from_dataset(&data)?;
+
+    let counts = data.adjacency.row_nnz_counts();
+    let stats = awb_gcn_repro::sparse::profile::workload_stats(&counts);
+    println!(
+        "Nell-like graph: {} nodes, {} edges, max row {} vs mean {:.1} (imbalance {:.0}x, Gini {:.2})",
+        spec.nodes,
+        data.adjacency.nnz(),
+        stats.max,
+        stats.mean,
+        stats.imbalance_factor,
+        stats.gini
+    );
+
+    let config = AccelConfig::builder().n_pes(128).build()?;
+    println!("\n{:<10} {:>12} {:>8} {:>10} {:>14}", "design", "cycles", "util", "speedup", "rows switched");
+    let mut baseline_cycles = 0u64;
+    for design in [
+        Design::Baseline,
+        Design::LocalSharing { hop: 2 },
+        Design::LocalSharing { hop: 3 },
+        Design::LocalPlusRemote { hop: 2 },
+        Design::LocalPlusRemote { hop: 3 },
+    ] {
+        let runner = GcnRunner::new(design.apply(config.clone()));
+        let outcome = runner.run(&input)?;
+        if design == Design::Baseline {
+            baseline_cycles = outcome.stats.total_cycles();
+        }
+        // Count tuning rounds across the A-engine SPMMs as the trace.
+        let tuned: usize = outcome.stats.spmms().iter().map(|s| s.tuning_rounds()).sum();
+        println!(
+            "{:<10} {:>12} {:>7.1}% {:>9.2}x {:>10} rounds",
+            design.label(),
+            outcome.stats.total_cycles(),
+            outcome.stats.avg_utilization() * 100.0,
+            baseline_cycles as f64 / outcome.stats.total_cycles() as f64,
+            tuned,
+        );
+    }
+
+    println!(
+        "\nNote the paper's §5.2 observation reproduced here: on Nell, plain local\n\
+         sharing plateaus (hubs overload whole neighbourhoods) while adding remote\n\
+         switching recovers most of the remaining utilization."
+    );
+    Ok(())
+}

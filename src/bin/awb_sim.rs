@@ -1,0 +1,267 @@
+//! `awb-sim` — command-line front end to the AWB-GCN simulator.
+//!
+//! ```text
+//! awb-sim profile <dataset> [--scale F] [--seed N]
+//! awb-sim run     <dataset> [--design D] [--pes N] [--scale F] [--seed N] [--csv]
+//! awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
+//! awb-sim export  <dataset> <path.mtx> [--scale F] [--seed N]
+//! ```
+//!
+//! `<dataset>` is one of `cora|citeseer|pubmed|nell|reddit`; `--design`
+//! accepts `base`, `eie`, `ls<H>` (local sharing, hop H) or `ls<H>+rs`
+//! (plus remote switching), default `ls2+rs`.
+
+use std::error::Error;
+use std::process::ExitCode;
+
+use awb_gcn_repro::accel::{trace, AccelConfig, Design, GcnRunner};
+use awb_gcn_repro::datasets::{DatasetSpec, GeneratedDataset, PaperDataset};
+use awb_gcn_repro::gcn::GcnInput;
+use awb_gcn_repro::sparse::io::write_matrix_market;
+use awb_gcn_repro::sparse::profile::row_nnz_stats;
+
+const USAGE: &str = "usage:
+  awb-sim profile <dataset> [--scale F] [--seed N]
+  awb-sim run     <dataset> [--design D] [--pes N] [--scale F] [--seed N] [--csv]
+  awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
+  awb-sim export  <dataset> <path.mtx> [--scale F] [--seed N]
+
+  <dataset>: cora | citeseer | pubmed | nell | reddit
+  --design:  base | eie | ls<H> | ls<H>+rs       (default ls2+rs)
+  --pes:     PE count                            (default 1024 x scale)
+  --scale:   node-scale factor                   (default 1.0)
+  --seed:    generator seed                      (default 42)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    match command.as_str() {
+        "profile" => profile(&args[1..]),
+        "run" => run(&args[1..]),
+        "compare" => compare(&args[1..]),
+        "export" => export(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`").into()),
+    }
+}
+
+/// Parsed common options.
+struct Options {
+    dataset: PaperDataset,
+    scale: f64,
+    seed: u64,
+    pes: Option<usize>,
+    design: Design,
+    csv: bool,
+    extra_positional: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
+    let mut dataset = None;
+    let mut extra_positional = None;
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut pes = None;
+    let mut design = Design::LocalPlusRemote { hop: 2 };
+    let mut csv = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => scale = next_value(&mut it, "--scale")?.parse()?,
+            "--seed" => seed = next_value(&mut it, "--seed")?.parse()?,
+            "--pes" => pes = Some(next_value(&mut it, "--pes")?.parse()?),
+            "--design" => design = parse_design(&next_value(&mut it, "--design")?)?,
+            "--csv" => csv = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`").into())
+            }
+            positional if dataset.is_none() => dataset = Some(parse_dataset(positional)?),
+            positional => extra_positional = Some(positional.to_string()),
+        }
+    }
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err("--scale must be positive".into());
+    }
+    Ok(Options {
+        dataset: dataset.ok_or("missing <dataset>")?,
+        scale,
+        seed,
+        pes,
+        design,
+        csv,
+        extra_positional,
+    })
+}
+
+fn next_value<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+) -> Result<&'a String, Box<dyn Error>> {
+    it.next().ok_or_else(|| format!("{flag} needs a value").into())
+}
+
+fn parse_dataset(name: &str) -> Result<PaperDataset, Box<dyn Error>> {
+    PaperDataset::all()
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset `{name}`").into())
+}
+
+fn parse_design(text: &str) -> Result<Design, Box<dyn Error>> {
+    let lower = text.to_lowercase();
+    match lower.as_str() {
+        "base" | "baseline" => return Ok(Design::Baseline),
+        "eie" | "eie-like" => return Ok(Design::EieLike),
+        _ => {}
+    }
+    if let Some(rest) = lower.strip_prefix("ls") {
+        let (hop_text, remote) = match rest.strip_suffix("+rs") {
+            Some(h) => (h, true),
+            None => (rest, false),
+        };
+        let hop: usize = hop_text
+            .parse()
+            .map_err(|_| format!("bad hop in design `{text}`"))?;
+        return Ok(if remote {
+            Design::LocalPlusRemote { hop }
+        } else {
+            Design::LocalSharing { hop }
+        });
+    }
+    Err(format!("unknown design `{text}`").into())
+}
+
+fn load(opts: &Options) -> Result<(DatasetSpec, GeneratedDataset, GcnInput), Box<dyn Error>> {
+    let spec = opts.dataset.spec().scaled(opts.scale);
+    let data = GeneratedDataset::generate(&spec, opts.seed)?;
+    let input = GcnInput::from_dataset(&data)?;
+    Ok((spec, data, input))
+}
+
+fn config_for(opts: &Options) -> Result<AccelConfig, Box<dyn Error>> {
+    let pes = opts
+        .pes
+        .unwrap_or_else(|| ((1024.0 * opts.scale).round() as usize).max(32));
+    let mut builder = AccelConfig::builder();
+    builder.n_pes(pes);
+    Ok(opts.design.apply(builder.build()?))
+}
+
+fn profile(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = parse_options(args)?;
+    let (spec, data, _input) = load(&opts)?;
+    let stats = row_nnz_stats(&data.adjacency);
+    println!("dataset   : {} (scale {:.3}, seed {})", spec.name, opts.scale, opts.seed);
+    println!("nodes     : {}", spec.nodes);
+    println!("features  : {} -> {} -> {}", spec.f1, spec.f2, spec.f3);
+    println!(
+        "A         : {} nnz, density {:.4}% (target {:.4}%)",
+        data.adjacency.nnz(),
+        data.a_density() * 100.0,
+        spec.a_density * 100.0
+    );
+    println!(
+        "X1        : {} nnz, density {:.3}%",
+        data.features.nnz(),
+        data.x1_density() * 100.0
+    );
+    println!(
+        "row nnz   : min {} max {} mean {:.1} CV {:.2} Gini {:.2} imbalance {:.0}x",
+        stats.min, stats.max, stats.mean, stats.cv, stats.gini, stats.imbalance_factor
+    );
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = parse_options(args)?;
+    let (_, _, input) = load(&opts)?;
+    let config = config_for(&opts)?;
+    let outcome = GcnRunner::new(config.clone()).run(&input)?;
+    if opts.csv {
+        print!("{}", trace::run_spmm_csv(&outcome.stats));
+        return Ok(());
+    }
+    println!(
+        "design {} on {} PEs: {} cycles ({:.4} ms @{} MHz), utilization {:.1}%",
+        opts.design.label(),
+        config.n_pes,
+        outcome.stats.total_cycles(),
+        outcome.latency_ms(config.freq_mhz),
+        config.freq_mhz,
+        outcome.stats.avg_utilization() * 100.0
+    );
+    for spmm in outcome.stats.spmms() {
+        println!(
+            "  {:<10} {:>10} cycles (ideal {:>9}) util {:>5.1}% TQ depth {}",
+            spmm.label,
+            spmm.total_cycles(),
+            spmm.ideal_cycles(),
+            spmm.utilization() * 100.0,
+            spmm.max_queue_depth()
+        );
+    }
+    Ok(())
+}
+
+fn compare(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let mut opts = parse_options(args)?;
+    let (_, _, input) = load(&opts)?;
+    let designs = [
+        Design::Baseline,
+        Design::LocalSharing { hop: 1 },
+        Design::LocalSharing { hop: 2 },
+        Design::LocalPlusRemote { hop: 1 },
+        Design::LocalPlusRemote { hop: 2 },
+    ];
+    let mut base_cycles = None;
+    println!("{:<10} {:>12} {:>8} {:>9}", "design", "cycles", "util", "speedup");
+    for design in designs {
+        opts.design = design;
+        let config = config_for(&opts)?;
+        let outcome = GcnRunner::new(config).run(&input)?;
+        let cycles = outcome.stats.total_cycles();
+        let base = *base_cycles.get_or_insert(cycles);
+        println!(
+            "{:<10} {:>12} {:>7.1}% {:>8.2}x",
+            design.label(),
+            cycles,
+            outcome.stats.avg_utilization() * 100.0,
+            base as f64 / cycles as f64
+        );
+    }
+    Ok(())
+}
+
+fn export(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = parse_options(args)?;
+    let path = opts
+        .extra_positional
+        .as_deref()
+        .ok_or("export needs an output path")?;
+    let (spec, data, _) = load(&opts)?;
+    let coo = data.adjacency.to_coo();
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_matrix_market(&mut file, &coo)?;
+    println!(
+        "wrote {} ({} nodes, {} nnz) to {path}",
+        spec.name,
+        spec.nodes,
+        data.adjacency.nnz()
+    );
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # AWB-GCN reproduction — facade crate
+//!
+//! Re-exports every crate of the workspace so that examples, integration
+//! tests, and downstream users can depend on a single package.
+//!
+//! The repository reproduces *AWB-GCN: A Graph Convolutional Network
+//! Accelerator with Runtime Workload Rebalancing* (Geng et al., MICRO 2020)
+//! as a cycle-level simulator. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use awb_gcn_repro::accel::{AccelConfig, GcnRunner};
+//! use awb_gcn_repro::datasets::{DatasetSpec, GeneratedDataset};
+//! use awb_gcn_repro::gcn::GcnInput;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a small synthetic power-law graph and run GCN inference on
+//! // the simulated accelerator with workload rebalancing enabled.
+//! let data = GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(256), 7)?;
+//! let input = GcnInput::from_dataset(&data)?;
+//! let config = AccelConfig::builder().n_pes(64).build()?;
+//! let run = GcnRunner::new(config).run(&input)?;
+//! assert!(run.stats.total_cycles() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use awb_accel as accel;
+pub use awb_datasets as datasets;
+pub use awb_gcn_model as gcn;
+pub use awb_hw as hw;
+pub use awb_platforms as platforms;
+pub use awb_sparse as sparse;

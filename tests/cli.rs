@@ -1,0 +1,107 @@
+//! End-to-end tests of the `awb-sim` command-line binary.
+
+use std::process::Command;
+
+fn awb_sim(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_awb_sim"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = awb_sim(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("awb-sim profile"));
+    assert!(text.contains("awb-sim run"));
+}
+
+#[test]
+fn missing_command_fails_with_usage() {
+    let out = awb_sim(&[]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn profile_reports_statistics() {
+    let out = awb_sim(&["profile", "cora", "--scale", "0.1", "--seed", "3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dataset   : Cora"));
+    assert!(text.contains("row nnz"));
+    assert!(text.contains("imbalance"));
+}
+
+#[test]
+fn run_reports_cycles_and_utilization() {
+    let out = awb_sim(&[
+        "run", "citeseer", "--scale", "0.05", "--pes", "16", "--design", "ls1+rs", "--seed", "7",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("design LS1+RS on 16 PEs"));
+    assert!(text.contains("L1:X*W"));
+    assert!(text.contains("L2:A*(XW)"));
+}
+
+#[test]
+fn run_csv_emits_machine_readable_rows() {
+    let out = awb_sim(&[
+        "run", "cora", "--scale", "0.05", "--pes", "8", "--csv",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut lines = text.lines();
+    assert!(lines.next().unwrap().starts_with("spmm,rounds,tasks,cycles"));
+    assert_eq!(lines.count(), 4); // four SPMMs
+}
+
+#[test]
+fn compare_lists_five_designs() {
+    let out = awb_sim(&["compare", "pubmed", "--scale", "0.02", "--pes", "16"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for label in ["Base", "LS1", "LS2", "LS1+RS", "LS2+RS"] {
+        assert!(text.contains(label), "missing {label} in:\n{text}");
+    }
+}
+
+#[test]
+fn export_writes_matrix_market() {
+    let dir = std::env::temp_dir().join(format!("awb_sim_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cora.mtx");
+    let out = awb_sim(&[
+        "export",
+        "cora",
+        path.to_str().unwrap(),
+        "--scale",
+        "0.05",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let contents = std::fs::read_to_string(&path).unwrap();
+    assert!(contents.starts_with("%%MatrixMarket matrix coordinate real general"));
+    // Re-import through the library to close the loop.
+    let coo = awb_gcn_repro::sparse::io::read_matrix_market(contents.as_bytes()).unwrap();
+    assert!(coo.nnz() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_inputs_are_rejected() {
+    for args in [
+        &["run", "notadataset"][..],
+        &["run", "cora", "--design", "warp9"][..],
+        &["run", "cora", "--scale", "-1"][..],
+        &["frobnicate"][..],
+        &["run", "cora", "--pes"][..],
+    ] {
+        let out = awb_sim(args);
+        assert!(!out.status.success(), "accepted: {args:?}");
+    }
+}

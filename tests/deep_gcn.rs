@@ -1,0 +1,97 @@
+//! Deeper-than-2-layer GCNs. The paper's introduction motivates deep GCNs
+//! (a 152-layer network is cited); the accelerator's per-layer schedule
+//! and its tuned-map reuse must extend to arbitrary depth.
+
+use awb_gcn_repro::accel::{AccelConfig, Design, GcnRunner};
+use awb_gcn_repro::datasets::{DatasetSpec, GeneratedDataset};
+use awb_gcn_repro::gcn::{GcnInput, GcnModel};
+use awb_gcn_repro::sparse::DenseMatrix;
+
+/// Builds an n-layer input by chaining extra square hidden weights.
+fn deep_input(layers: usize, seed: u64) -> GcnInput {
+    let spec = DatasetSpec::cora().with_nodes(192);
+    let data = GeneratedDataset::generate(&spec, seed).unwrap();
+    let mut weights = vec![data.weights[0].clone()]; // f1 -> f2
+    let f2 = spec.f2;
+    for l in 1..layers {
+        let out = if l == layers - 1 { spec.f3 } else { f2 };
+        let vals: Vec<f32> = (0..f2 * out)
+            .map(|i| ((i * 37 + l * 11) % 13) as f32 / 13.0 - 0.35)
+            .collect();
+        weights.push(DenseMatrix::from_vec(f2, out, vals).unwrap());
+    }
+    let a_norm = awb_gcn_repro::gcn::normalize::normalize_adjacency(&data.adjacency).unwrap();
+    GcnInput::from_parts(a_norm, data.features.clone(), weights).unwrap()
+}
+
+#[test]
+fn four_layer_network_verifies() {
+    let input = deep_input(4, 5);
+    let config = Design::LocalPlusRemote { hop: 2 }
+        .apply(AccelConfig::builder().n_pes(32).build().unwrap());
+    let outcome = GcnRunner::new(config).run(&input).unwrap();
+    assert_eq!(outcome.stats.layers.len(), 4);
+    assert_eq!(outcome.output.shape(), (192, 7));
+    let diff =
+        awb_gcn_repro::accel::verify_against_reference(&input, &outcome, 5e-3).unwrap();
+    assert!(diff <= 5e-3, "diff {diff}");
+}
+
+#[test]
+fn a_engine_tunes_once_across_all_layers() {
+    let input = deep_input(5, 9);
+    let config = Design::LocalPlusRemote { hop: 2 }
+        .apply(AccelConfig::builder().n_pes(32).build().unwrap());
+    let outcome = GcnRunner::new(config).run(&input).unwrap();
+    // A's engine tunes during layer 1 and is frozen for layers 2..n.
+    let tuning: Vec<usize> = outcome
+        .stats
+        .layers
+        .iter()
+        .map(|l| l.a_xw.tuning_rounds())
+        .collect();
+    assert!(tuning[0] > 0, "layer 1 should tune: {tuning:?}");
+    for (i, &t) in tuning.iter().enumerate().skip(1) {
+        assert_eq!(t, 0, "layer {} must reuse the frozen map: {tuning:?}", i + 1);
+    }
+}
+
+#[test]
+fn depth_scales_cycles_roughly_linearly() {
+    let cycles_of = |layers: usize| {
+        let input = deep_input(layers, 13);
+        let config = AccelConfig::builder().n_pes(32).build().unwrap();
+        GcnRunner::new(config)
+            .run(&input)
+            .unwrap()
+            .stats
+            .total_cycles()
+    };
+    let c2 = cycles_of(2);
+    let c6 = cycles_of(6);
+    // Hidden layers are cheaper than layer 1 (f2 << f1) but each adds
+    // comparable A×(XW) work; demand growth between 1.2x and 6x.
+    assert!(c6 > c2 * 12 / 10, "c2 {c2} c6 {c6}");
+    assert!(c6 < c2 * 6, "c2 {c2} c6 {c6}");
+}
+
+#[test]
+fn reference_forward_matches_accelerator_densities() {
+    let input = deep_input(3, 21);
+    let outcome = GcnRunner::new(AccelConfig::builder().n_pes(32).build().unwrap())
+        .run(&input)
+        .unwrap();
+    let reference = GcnModel::with_layers(3).forward(&input).unwrap();
+    assert_eq!(outcome.x_density.len(), 3);
+    for (l, (acc, sw)) in outcome
+        .x_density
+        .iter()
+        .zip(&reference.x_density)
+        .enumerate()
+    {
+        assert!(
+            (acc - sw).abs() < 0.05,
+            "layer {l}: accel density {acc} vs reference {sw}"
+        );
+    }
+}

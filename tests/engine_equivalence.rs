@@ -1,0 +1,146 @@
+//! Cross-engine validation: the fast queue-dynamics engine must agree with
+//! the detailed component-level engine — functionally exactly (modulo
+//! float summation order) and in its performance trends.
+
+use awb_gcn_repro::accel::{
+    AccelConfig, Design, DetailedEngine, FastEngine, SpmmEngine, TdqMode,
+};
+use awb_gcn_repro::sparse::{spmm, Coo, Csc, DenseMatrix};
+
+fn config(n_pes: usize) -> AccelConfig {
+    AccelConfig::builder().n_pes(n_pes).build().unwrap()
+}
+
+/// Pseudo-random sparse matrix with a controllable skew: `heavy_rows`
+/// rows receive `heavy_nnz` entries each, the rest get one.
+fn skewed(n: usize, heavy_rows: usize, heavy_nnz: usize, seed: u64) -> Csc {
+    let mut coo = Coo::new(n, n);
+    let mut x = seed | 1;
+    let mut step = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (x >> 33) as usize
+    };
+    for r in 0..heavy_rows {
+        for _ in 0..heavy_nnz {
+            let c = step() % n;
+            coo.push(r, c, (step() % 7) as f32 - 3.0).unwrap();
+        }
+    }
+    for r in heavy_rows..n {
+        coo.push(r, step() % n, 1.0).unwrap();
+    }
+    coo.to_csc()
+}
+
+fn dense(rows: usize, cols: usize) -> DenseMatrix {
+    let data: Vec<f32> = (0..rows * cols).map(|i| ((i % 7) as f32) - 3.0).collect();
+    DenseMatrix::from_vec(rows, cols, data).unwrap()
+}
+
+#[test]
+fn functional_outputs_agree_across_engines() {
+    let a = skewed(64, 4, 24, 3);
+    let b = dense(64, 5);
+    let reference = spmm::csc_times_dense(&a, &b).unwrap();
+    for design in [
+        Design::Baseline,
+        Design::LocalSharing { hop: 2 },
+        Design::LocalPlusRemote { hop: 2 },
+    ] {
+        let fast = FastEngine::new(design.apply(config(8)))
+            .run(&a, &b, "t")
+            .unwrap();
+        let detailed = DetailedEngine::new(design.apply(config(8)), TdqMode::Tdq2)
+            .run(&a, &b, "t")
+            .unwrap();
+        assert!(fast.c.approx_eq(&reference, 1e-4), "{design:?} fast");
+        assert!(detailed.c.approx_eq(&reference, 1e-4), "{design:?} detailed");
+    }
+}
+
+#[test]
+fn task_counts_identical() {
+    let a = skewed(48, 3, 16, 9);
+    let b = dense(48, 4);
+    let fast = FastEngine::new(config(8)).run(&a, &b, "t").unwrap();
+    let detailed = DetailedEngine::new(config(8), TdqMode::Tdq2)
+        .run(&a, &b, "t")
+        .unwrap();
+    assert_eq!(fast.stats.total_tasks(), detailed.stats.total_tasks());
+    assert_eq!(
+        fast.stats.total_tasks(),
+        spmm::csc_times_dense_macs(&a, &b) as u64
+    );
+}
+
+/// The fast engine's cycle estimate must track the detailed engine within
+/// a modest constant factor (the detailed engine additionally pays network
+/// fill/contention; the fast engine folds distribution into bandwidth).
+#[test]
+fn cycle_estimates_track_each_other() {
+    for (heavy_rows, heavy_nnz) in [(2usize, 40usize), (8, 12), (1, 64)] {
+        let a = skewed(64, heavy_rows, heavy_nnz, 7);
+        let b = dense(64, 4);
+        let fast = FastEngine::new(config(8)).run(&a, &b, "t").unwrap();
+        let detailed = DetailedEngine::new(config(8), TdqMode::Tdq2)
+            .run(&a, &b, "t")
+            .unwrap();
+        let f = fast.stats.total_cycles() as f64;
+        let d = detailed.stats.total_cycles() as f64;
+        let ratio = d / f;
+        assert!(
+            (0.5..4.0).contains(&ratio),
+            "heavy_rows={heavy_rows} heavy_nnz={heavy_nnz}: fast {f} detailed {d}"
+        );
+    }
+}
+
+/// Both engines must agree on the *direction* of the headline result:
+/// rebalancing shortens skewed workloads.
+#[test]
+fn both_engines_show_rebalancing_gains() {
+    let a = skewed(64, 3, 48, 5);
+    let b = dense(64, 6);
+    let run_fast = |design: Design| {
+        FastEngine::new(design.apply(config(16)))
+            .run(&a, &b, "t")
+            .unwrap()
+            .stats
+            .total_cycles()
+    };
+    let run_detailed = |design: Design| {
+        DetailedEngine::new(design.apply(config(16)), TdqMode::Tdq2)
+            .run(&a, &b, "t")
+            .unwrap()
+            .stats
+            .total_cycles()
+    };
+    assert!(run_fast(Design::LocalSharing { hop: 2 }) < run_fast(Design::Baseline));
+    assert!(run_detailed(Design::LocalSharing { hop: 2 }) < run_detailed(Design::Baseline));
+}
+
+#[test]
+fn tdq1_and_tdq2_agree_functionally() {
+    let a = skewed(32, 4, 8, 11);
+    let b = dense(32, 3);
+    let reference = spmm::csc_times_dense(&a, &b).unwrap();
+    let t1 = DetailedEngine::new(config(8), TdqMode::Tdq1)
+        .run(&a, &b, "t")
+        .unwrap();
+    let t2 = DetailedEngine::new(config(8), TdqMode::Tdq2)
+        .run(&a, &b, "t")
+        .unwrap();
+    assert!(t1.c.approx_eq(&reference, 1e-4));
+    assert!(t2.c.approx_eq(&reference, 1e-4));
+}
+
+#[test]
+fn detailed_tdq2_rejects_non_power_of_two_pes() {
+    let a = skewed(32, 2, 8, 13);
+    let b = dense(32, 2);
+    let mut engine = DetailedEngine::new(config(12), TdqMode::Tdq2);
+    assert!(engine.run(&a, &b, "t").is_err());
+    // TDQ-1 has no such restriction.
+    let mut engine = DetailedEngine::new(config(12), TdqMode::Tdq1);
+    assert!(engine.run(&a, &b, "t").is_ok());
+}

@@ -1,0 +1,181 @@
+//! Property-based tests on the accelerator: functional equivalence, task
+//! conservation, partition invariants under remote switching, and bounds
+//! on the pipeline model.
+
+use awb_gcn_repro::accel::{
+    AccelConfig, Design, FastEngine, LocalSharing, MappingKind, RemoteSwitcher, RowMap,
+    RoundProfile, SltPolicy, SpmmEngine,
+};
+use awb_gcn_repro::accel::pipeline::{pipeline_chain, pipeline_two_stage};
+use awb_gcn_repro::sparse::{spmm, Coo, Csc, DenseMatrix};
+use proptest::prelude::*;
+
+/// Random sparse square matrix with quantized values.
+fn sparse_strategy(max_n: usize, max_nnz: usize) -> impl Strategy<Value = Csc> {
+    (4..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, -4i32..5), 1..max_nnz).prop_map(move |entries| {
+            let mut coo = Coo::new(n, n);
+            for (r, c, v) in entries {
+                coo.push(r, c, v as f32).unwrap();
+            }
+            coo.to_csc()
+        })
+    })
+}
+
+fn dense_for(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| (((i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ seed) % 9) as f32 - 4.0)
+        .collect();
+    DenseMatrix::from_vec(rows, cols, data).unwrap()
+}
+
+fn design_strategy() -> impl Strategy<Value = Design> {
+    prop_oneof![
+        Just(Design::Baseline),
+        (1usize..3).prop_map(|hop| Design::LocalSharing { hop }),
+        (1usize..3).prop_map(|hop| Design::LocalPlusRemote { hop }),
+        Just(Design::EieLike),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the design point, the engine computes exactly A×B and
+    /// executes exactly one MAC task per (nnz, non-zero b) pair.
+    #[test]
+    fn engine_functional_and_conserving(
+        a in sparse_strategy(48, 160),
+        cols in 1usize..5,
+        seed in 0u64..50,
+        design in design_strategy(),
+        n_pes_log in 2u32..5,
+    ) {
+        let b = dense_for(a.cols(), cols, seed);
+        let config = design.apply(
+            AccelConfig::builder().n_pes(1 << n_pes_log).build().unwrap(),
+        );
+        let mut engine = FastEngine::new(config);
+        let out = engine.run(&a, &b, "prop").unwrap();
+        let expect = spmm::csc_times_dense(&a, &b).unwrap();
+        prop_assert!(out.c.approx_eq(&expect, 1e-3));
+        prop_assert_eq!(
+            out.stats.total_tasks(),
+            spmm::csc_times_dense_macs(&a, &b) as u64
+        );
+        // Accounting identities.
+        prop_assert_eq!(
+            out.stats.total_cycles(),
+            out.stats.ideal_cycles() + out.stats.sync_cycles()
+        );
+        let util = out.stats.utilization();
+        prop_assert!((0.0..=1.0).contains(&util));
+    }
+
+    /// Remote switching may permute row ownership arbitrarily but must
+    /// keep the map a partition.
+    #[test]
+    fn row_map_stays_partition_under_random_switching(
+        n_rows in 8usize..128,
+        n_pes in 2usize..16,
+        profiles in proptest::collection::vec(
+            proptest::collection::vec(0u64..1000, 16),
+            1..12,
+        ),
+    ) {
+        let mut map = RowMap::new(n_rows, n_pes, MappingKind::Block);
+        let mut switcher =
+            RemoteSwitcher::new(2, SltPolicy::Sequential, n_rows.div_ceil(n_pes).max(1));
+        for busy in profiles {
+            let profile = RoundProfile {
+                per_pe_busy: busy[..n_pes.min(16)].to_vec(),
+                per_row_tasks: None,
+            };
+            for plan in switcher.plan(&profile, &map) {
+                plan.apply(&mut map);
+            }
+            prop_assert!(map.is_consistent());
+        }
+    }
+
+    /// Local sharing always picks inside the hop window and never picks a
+    /// strictly more loaded PE than the owner.
+    #[test]
+    fn local_sharing_window_and_greed(
+        n_pes in 2usize..64,
+        hop in 0usize..4,
+        owner_raw in 0usize..64,
+        lens in proptest::collection::vec(0usize..100, 64),
+    ) {
+        prop_assume!(hop < n_pes);
+        let owner = (owner_raw % n_pes) as u32;
+        let sharing = LocalSharing::new(hop, n_pes);
+        let chosen = sharing.choose(owner, |p| lens[p as usize]);
+        prop_assert!(sharing.window(owner).contains(&chosen));
+        prop_assert!(lens[chosen as usize] <= lens[owner as usize]);
+    }
+
+    /// The pipelined latency of two stages is bounded below by each stage
+    /// alone (plus the first producer column for the consumer) and above
+    /// by the sequential sum.
+    #[test]
+    fn pipeline_bounds(
+        s1 in proptest::collection::vec(0u64..50, 1..20),
+        s2 in proptest::collection::vec(0u64..50, 1..20),
+    ) {
+        let total = pipeline_two_stage(&s1, &s2);
+        let sum1: u64 = s1.iter().sum();
+        let sum2: u64 = s2.iter().sum();
+        prop_assert!(total >= sum1.max(sum2));
+        prop_assert!(total <= sum1 + sum2);
+        // Chain of one stage is its sum.
+        prop_assert_eq!(pipeline_chain(&[&s1]), sum1);
+    }
+
+    /// Adding pipeline stages never reduces total latency below the
+    /// heaviest stage, and permuting a single stage's rounds never changes
+    /// its own sum.
+    #[test]
+    fn pipeline_chain_monotone(
+        stages in proptest::collection::vec(
+            proptest::collection::vec(0u64..30, 1..10),
+            1..5,
+        ),
+    ) {
+        let refs: Vec<&[u64]> = stages.iter().map(|s| s.as_slice()).collect();
+        let total = pipeline_chain(&refs);
+        let heaviest: u64 = stages.iter().map(|s| s.iter().sum()).max().unwrap_or(0);
+        let sum_all: u64 = stages.iter().map(|s| s.iter().sum::<u64>()).sum();
+        prop_assert!(total >= heaviest);
+        prop_assert!(total <= sum_all);
+    }
+
+    /// Utilization can only improve (or stay) when the hop radius grows,
+    /// for a fixed workload — monotonicity of local sharing.
+    #[test]
+    fn wider_hop_never_hurts_much(
+        a in sparse_strategy(48, 120),
+        seed in 0u64..20,
+    ) {
+        let b = dense_for(a.cols(), 3, seed);
+        let cycles_for = |hop: usize| {
+            let design = if hop == 0 {
+                Design::Baseline
+            } else {
+                Design::LocalSharing { hop }
+            };
+            let config = design.apply(AccelConfig::builder().n_pes(8).build().unwrap());
+            FastEngine::new(config)
+                .run(&a, &b, "prop")
+                .unwrap()
+                .stats
+                .total_cycles()
+        };
+        let c0 = cycles_for(0);
+        let c2 = cycles_for(2);
+        // Sharing decisions are greedy/heuristic so tiny regressions are
+        // possible; forbid meaningful ones.
+        prop_assert!(c2 as f64 <= c0 as f64 * 1.10, "hop0 {c0}, hop2 {c2}");
+    }
+}
