@@ -13,9 +13,7 @@
 //!
 //! Run: `cargo bench -p awb-bench --bench ablation_rebalance`
 
-use awb_accel::{
-    AccelConfig, Design, GcnRunner, MappingKind, SltPolicy, StallMode,
-};
+use awb_accel::{AccelConfig, Design, GcnRunner, MappingKind, SltPolicy, StallMode};
 use awb_bench::{pct, render_table, BenchDataset};
 use awb_datasets::PaperDataset;
 use awb_gcn_model::GcnInput;

@@ -42,10 +42,7 @@ fn main() {
                 ]
             })
             .collect();
-        println!(
-            "{}",
-            render_table(&["row nnz", "rows", "log-scale"], &rows)
-        );
+        println!("{}", render_table(&["row nnz", "rows", "log-scale"], &rows));
     }
     println!(
         "Shapes match the paper's Fig. 13: Citeseer is power-law with a short\n\

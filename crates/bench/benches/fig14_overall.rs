@@ -40,8 +40,7 @@ fn main() {
             paper_best * 100.0
         );
         let designs = bench.designs();
-        let outcomes: Vec<GcnRunOutcome> =
-            designs.iter().map(|d| bench.run_design(*d)).collect();
+        let outcomes: Vec<GcnRunOutcome> = designs.iter().map(|d| bench.run_design(*d)).collect();
         let base_cycles = outcomes[0].stats.total_cycles();
 
         // --- Panel A-E: overall delay + utilization ---
@@ -54,7 +53,10 @@ fn main() {
                 format!("{}", out.stats.total_cycles()),
                 format!("{l1}"),
                 format!("{l2}"),
-                format!("{:.2}x", base_cycles as f64 / out.stats.total_cycles() as f64),
+                format!(
+                    "{:.2}x",
+                    base_cycles as f64 / out.stats.total_cycles() as f64
+                ),
                 pct(out.stats.avg_utilization()),
                 format!("{}", out.stats.ideal_cycles()),
             ]);
@@ -62,7 +64,15 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["design", "cycles", "layer1", "layer2", "speedup", "util", "lower bound"],
+                &[
+                    "design",
+                    "cycles",
+                    "layer1",
+                    "layer2",
+                    "speedup",
+                    "util",
+                    "lower bound"
+                ],
                 &rows
             )
         );
@@ -109,7 +119,14 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["design", "TQ depth", "TQ slots", "CLB (TQ)", "CLB (other)", "CLB total"],
+                &[
+                    "design",
+                    "TQ depth",
+                    "TQ slots",
+                    "CLB (TQ)",
+                    "CLB (other)",
+                    "CLB total"
+                ],
                 &rows
             )
         );

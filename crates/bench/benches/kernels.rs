@@ -60,8 +60,7 @@ fn bench_fast_engine(c: &mut Criterion) {
     for design in [Design::Baseline, Design::LocalPlusRemote { hop: 2 }] {
         group.bench_function(format!("cora_a/{}", design.label()), |bench| {
             bench.iter(|| {
-                let config =
-                    design.apply(AccelConfig::builder().n_pes(1024).build().unwrap());
+                let config = design.apply(AccelConfig::builder().n_pes(1024).build().unwrap());
                 FastEngine::new(config)
                     .run(black_box(&a_csc), black_box(&b), "bench")
                     .unwrap()

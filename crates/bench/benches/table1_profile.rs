@@ -38,7 +38,11 @@ fn main() {
             format!("{}", spec.nodes),
             format!("{}/{}/{}", spec.f1, spec.f2, spec.f3),
             pct_sig(bench.data.a_density()),
-            pct_sig(if bench.scale < 1.0 { spec.a_density } else { paper_a }),
+            pct_sig(if bench.scale < 1.0 {
+                spec.a_density
+            } else {
+                paper_a
+            }),
             pct_sig(bench.data.x1_density()),
             pct_sig(paper_x1),
             pct(fwd.x2_density().unwrap_or(0.0)),
@@ -47,8 +51,8 @@ fn main() {
     }
     let table = render_table(
         &[
-            "dataset", "nodes", "F1/F2/F3", "A dens", "(target)", "X1 dens", "(paper)",
-            "X2 dens", "(paper)",
+            "dataset", "nodes", "F1/F2/F3", "A dens", "(target)", "X1 dens", "(paper)", "X2 dens",
+            "(paper)",
         ],
         &rows,
     );

@@ -50,7 +50,12 @@ fn main() {
     }
     let table = render_table(
         &[
-            "dataset", "(AxX)xW", "Ax(XxW)", "ratio", "paper naive", "paper chosen",
+            "dataset",
+            "(AxX)xW",
+            "Ax(XxW)",
+            "ratio",
+            "paper naive",
+            "paper chosen",
         ],
         &rows,
     );

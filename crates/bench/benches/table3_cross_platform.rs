@@ -90,7 +90,14 @@ fn main() {
     }
 
     let table = render_table(
-        &["dataset", "platform", "freq", "latency ms", "paper ms", "inf/kJ"],
+        &[
+            "dataset",
+            "platform",
+            "freq",
+            "latency ms",
+            "paper ms",
+            "inf/kJ",
+        ],
         &rows,
     );
     println!("{table}");

@@ -41,7 +41,9 @@ pub fn default_scale(dataset: PaperDataset) -> f64 {
 
 /// True when the user asked for full-size datasets via `AWB_FULL_SCALE=1`.
 pub fn full_scale_requested() -> bool {
-    std::env::var("AWB_FULL_SCALE").map(|v| v == "1").unwrap_or(false)
+    std::env::var("AWB_FULL_SCALE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// PE count scaled with the dataset so rows/PE match the paper's setup.

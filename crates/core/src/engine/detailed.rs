@@ -16,7 +16,9 @@ use crate::rebalance::autotuner::AutoTuner;
 use crate::rebalance::local::LocalSharing;
 use crate::rebalance::remote::RoundProfile;
 use crate::stats::{RoundStats, SpmmStats};
-use awb_hw::{MacOp, MacPipeline, OmegaNetwork, Packet, RawScoreboard, RoundRobinArbiter, TaskQueue};
+use awb_hw::{
+    MacOp, MacPipeline, OmegaNetwork, Packet, RawScoreboard, RoundRobinArbiter, TaskQueue,
+};
 use awb_sparse::{Csc, DenseMatrix};
 
 /// Which task-distributor the engine instantiates (paper §3.3).
@@ -371,8 +373,7 @@ impl SpmmEngine for DetailedEngine {
             });
 
             if tuning && !tasks.is_empty() {
-                let util =
-                    tasks.len() as f64 / (round.cycles.max(1) as f64 * n_pes as f64);
+                let util = tasks.len() as f64 / (round.cycles.max(1) as f64 * n_pes as f64);
                 let profile = RoundProfile {
                     per_pe_busy: owner_busy.clone(),
                     per_row_tasks: collect_rows.then(|| row_tasks.clone()),
@@ -423,7 +424,9 @@ mod tests {
         let mut x = 1u64;
         for r in 0..n {
             for _ in 0..nnz_per_row {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let c = (x >> 33) as usize % n;
                 coo.push(r, c, ((x >> 40) % 5) as f32 - 2.0).unwrap();
             }
@@ -530,11 +533,13 @@ mod tests {
             .run(&a, &b, "t")
             .unwrap()
             .stats;
-        let shared =
-            DetailedEngine::new(Design::LocalSharing { hop: 2 }.apply(config(8)), TdqMode::Tdq2)
-                .run(&a, &b, "t")
-                .unwrap()
-                .stats;
+        let shared = DetailedEngine::new(
+            Design::LocalSharing { hop: 2 }.apply(config(8)),
+            TdqMode::Tdq2,
+        )
+        .run(&a, &b, "t")
+        .unwrap()
+        .stats;
         assert!(
             shared.total_cycles() < base.total_cycles(),
             "base {} shared {}",

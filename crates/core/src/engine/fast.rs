@@ -375,7 +375,10 @@ mod tests {
         let mut engine = FastEngine::new(Design::LocalPlusRemote { hop: 1 }.apply(config(16)));
         let out = engine.run(&a, &b, "t").unwrap();
         assert!(engine.total_switches() > 0, "no rows switched");
-        assert!(!engine.tuning_active(), "tuner should freeze within 16 rounds");
+        assert!(
+            !engine.tuning_active(),
+            "tuner should freeze within 16 rounds"
+        );
         assert!(out.stats.tuning_rounds() > 0);
         assert!(out.stats.tuning_rounds() < out.stats.rounds.len());
         assert!(engine.row_map().unwrap().is_consistent());
@@ -538,9 +541,8 @@ mod memory_tests {
     #[test]
     fn off_chip_streaming_throttles_delivery() {
         let (a, b) = operand(256);
-        let mut fast_cfg = Design::Baseline.apply(
-            AccelConfig::builder().n_pes(64).build().unwrap(),
-        );
+        let mut fast_cfg =
+            Design::Baseline.apply(AccelConfig::builder().n_pes(64).build().unwrap());
         fast_cfg.memory = MemoryModel::unbounded();
         let mut slow_cfg = fast_cfg.clone();
         // Tiny on-chip budget + 16 B/cycle: 2 nnz per cycle.
@@ -561,17 +563,12 @@ mod memory_tests {
     #[test]
     fn on_chip_fill_charged_once() {
         let (a, b) = operand(128);
-        let mut cfg = Design::Baseline.apply(
-            AccelConfig::builder().n_pes(32).build().unwrap(),
-        );
+        let mut cfg = Design::Baseline.apply(AccelConfig::builder().n_pes(32).build().unwrap());
         cfg.memory = MemoryModel {
             on_chip_bytes: 1 << 20,
             off_chip_bytes_per_cycle: 8.0, // 1 nnz/cycle fill rate
         };
-        let stats = FastEngine::new(cfg.clone())
-            .run(&a, &b, "t")
-            .unwrap()
-            .stats;
+        let stats = FastEngine::new(cfg.clone()).run(&a, &b, "t").unwrap().stats;
         let fill = cfg.memory.fill_cycles(a.nnz());
         assert!(fill > 0);
         // Round 0 pays the fill; later rounds do not.
@@ -581,8 +578,7 @@ mod memory_tests {
     #[test]
     fn functional_output_unaffected_by_memory_model() {
         let (a, b) = operand(64);
-        let mut cfg =
-            Design::Baseline.apply(AccelConfig::builder().n_pes(16).build().unwrap());
+        let mut cfg = Design::Baseline.apply(AccelConfig::builder().n_pes(16).build().unwrap());
         cfg.memory = MemoryModel {
             on_chip_bytes: 8,
             off_chip_bytes_per_cycle: 24.0,

@@ -53,11 +53,13 @@ pub trait SpmmEngine {
 
 pub(crate) fn check_shapes(a: &Csc, b: &DenseMatrix) -> Result<(), AccelError> {
     if a.cols() != b.rows() {
-        return Err(AccelError::Shape(awb_sparse::SparseError::DimensionMismatch {
-            left: a.shape(),
-            right: b.shape(),
-            op: "spmm_engine",
-        }));
+        return Err(AccelError::Shape(
+            awb_sparse::SparseError::DimensionMismatch {
+                left: a.shape(),
+                right: b.shape(),
+                op: "spmm_engine",
+            },
+        ));
     }
     Ok(())
 }

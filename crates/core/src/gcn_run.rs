@@ -230,15 +230,16 @@ mod tests {
         for layer in &piped.stats.layers {
             assert!(layer.pipelined_cycles <= layer.sequential_cycles());
             // Pipelining can never beat either stage alone.
-            assert!(layer.pipelined_cycles >= layer.xw.total_cycles().max(layer.a_xw.total_cycles()));
+            assert!(
+                layer.pipelined_cycles >= layer.xw.total_cycles().max(layer.a_xw.total_cycles())
+            );
         }
     }
 
     #[test]
     fn rebalanced_run_is_faster_on_skewed_graph() {
         // Nell-like clustering at small scale.
-        let data =
-            GeneratedDataset::generate(&DatasetSpec::nell().with_nodes(512), 8).unwrap();
+        let data = GeneratedDataset::generate(&DatasetSpec::nell().with_nodes(512), 8).unwrap();
         let input = GcnInput::from_dataset(&data).unwrap();
         let base = GcnRunner::new(Design::Baseline.apply(config(64)))
             .run(&input)

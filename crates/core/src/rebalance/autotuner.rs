@@ -157,7 +157,11 @@ mod tests {
         // Utilization keeps improving, so only the budget stops it.
         for i in 0..10 {
             assert!(tuner.is_active(), "round {i}");
-            tuner.observe_round(&profile(vec![40, 30, 20, 10]), 0.05 * (i + 1) as f64, &mut map);
+            tuner.observe_round(
+                &profile(vec![40, 30, 20, 10]),
+                0.05 * (i + 1) as f64,
+                &mut map,
+            );
         }
         assert!(!tuner.is_active());
         assert_eq!(tuner.rounds_done(), 10);

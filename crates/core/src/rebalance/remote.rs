@@ -175,7 +175,8 @@ impl RemoteSwitcher {
             if delta == 0 {
                 continue;
             }
-            if let Some(plan) = build_plan(tuple.hot, tuple.cold, delta, g_i, policy, profile, map) {
+            if let Some(plan) = build_plan(tuple.hot, tuple.cold, delta, g_i, policy, profile, map)
+            {
                 self.total_switches += (plan.from_hot.len() + plan.from_cold.len()) as u64;
                 plans.push(plan);
             }
@@ -208,7 +209,11 @@ fn build_plan(
     let (from_hot, from_cold) = match policy {
         SltPolicy::Sequential => (
             hot_rows.iter().take(take_hot).copied().collect::<Vec<_>>(),
-            cold_rows.iter().take(take_cold).copied().collect::<Vec<_>>(),
+            cold_rows
+                .iter()
+                .take(take_cold)
+                .copied()
+                .collect::<Vec<_>>(),
         ),
         SltPolicy::DegreeAware => {
             let counts = profile.per_row_tasks.as_deref();
@@ -298,7 +303,10 @@ mod tests {
         assert_eq!(p.from_hot.len(), 2);
         p.apply(&mut map);
         assert!(map.is_consistent());
-        assert_eq!(sw.total_switches(), p.from_hot.len() as u64 + p.from_cold.len() as u64);
+        assert_eq!(
+            sw.total_switches(),
+            p.from_hot.len() as u64 + p.from_cold.len() as u64
+        );
     }
 
     #[test]

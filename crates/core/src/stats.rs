@@ -95,7 +95,11 @@ impl SpmmStats {
     /// quotes as "TQ depth" (§5.2: Nell layer-1 baseline needs 65 128,
     /// Design D only 2 675).
     pub fn max_queue_depth(&self) -> usize {
-        self.rounds.iter().map(|r| r.max_queue_depth).max().unwrap_or(0)
+        self.rounds
+            .iter()
+            .map(|r| r.max_queue_depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total TQ slots needed across the PE array (sum of per-PE high-water
@@ -146,7 +150,8 @@ impl LayerStats {
 
     /// Cycles saved by inter-SPMM pipelining.
     pub fn pipeline_savings(&self) -> u64 {
-        self.sequential_cycles().saturating_sub(self.pipelined_cycles)
+        self.sequential_cycles()
+            .saturating_sub(self.pipelined_cycles)
     }
 }
 
@@ -191,10 +196,7 @@ impl RunStats {
     /// Flat list of the SPMM stats in execution order
     /// (`L1:XW, L1:AXW, L2:XW, L2:AXW, …`).
     pub fn spmms(&self) -> Vec<&SpmmStats> {
-        self.layers
-            .iter()
-            .flat_map(|l| [&l.xw, &l.a_xw])
-            .collect()
+        self.layers.iter().flat_map(|l| [&l.xw, &l.a_xw]).collect()
     }
 
     /// Largest task-queue depth needed anywhere in the run.

@@ -162,8 +162,7 @@ mod tests {
     use awb_datasets::{DatasetSpec, GeneratedDataset};
 
     fn input() -> GcnInput {
-        let data =
-            GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(128), 4).unwrap();
+        let data = GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(128), 4).unwrap();
         GcnInput::from_dataset(&data).unwrap()
     }
 

@@ -237,7 +237,11 @@ fn generate_adjacency(
 }
 
 /// Builds a CSR with unit values from sorted, deduplicated (row, col) pairs.
-fn csr_from_sorted_pairs(rows: usize, cols: usize, pairs: &[(u32, u32)]) -> Result<Csr, SparseError> {
+fn csr_from_sorted_pairs(
+    rows: usize,
+    cols: usize,
+    pairs: &[(u32, u32)],
+) -> Result<Csr, SparseError> {
     let mut row_ptr = vec![0usize; rows + 1];
     for &(r, _) in pairs {
         row_ptr[r as usize + 1] += 1;

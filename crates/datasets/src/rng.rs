@@ -205,8 +205,7 @@ mod tests {
         let mut rng = Pcg64::seed_from_u64(7);
         for &lambda in &[0.5, 3.0, 50.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| rng.next_poisson(lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| rng.next_poisson(lambda) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - lambda).abs() / lambda < 0.1,
                 "lambda = {lambda}, mean = {mean}"

@@ -344,10 +344,7 @@ mod tests {
     #[test]
     fn paper_specs_match_table1_dims() {
         let cora = DatasetSpec::cora();
-        assert_eq!(
-            (cora.nodes, cora.f1, cora.f2, cora.f3),
-            (2708, 1433, 16, 7)
-        );
+        assert_eq!((cora.nodes, cora.f1, cora.f2, cora.f3), (2708, 1433, 16, 7));
         let nell = DatasetSpec::nell();
         assert_eq!(
             (nell.nodes, nell.f1, nell.f2, nell.f3),
@@ -407,7 +404,10 @@ mod tests {
     #[test]
     fn expected_nnz_formulas() {
         let cora = DatasetSpec::cora();
-        assert_eq!(cora.expected_a_nnz(), (2708.0f64 * 2708.0 * 0.0018).round() as usize);
+        assert_eq!(
+            cora.expected_a_nnz(),
+            (2708.0f64 * 2708.0 * 0.0018).round() as usize
+        );
         assert_eq!(
             cora.expected_x1_nnz(),
             (2708.0f64 * 1433.0 * 0.0127).round() as usize

@@ -287,8 +287,7 @@ mod tests {
     use awb_datasets::{DatasetSpec, GeneratedDataset};
 
     fn tiny_input() -> GcnInput {
-        let data =
-            GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(96), 11).unwrap();
+        let data = GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(96), 11).unwrap();
         GcnInput::from_dataset(&data).unwrap()
     }
 

@@ -112,7 +112,11 @@ mod tests {
         let d = normalize_adjacency(&a.to_csr()).unwrap().to_dense();
         // degrees 2 and 2 -> off-diagonal 1/2, diagonal 1/2.
         for (r, c) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
-            assert!((d.get(r, c) - 0.5).abs() < 1e-6, "({r},{c}) = {}", d.get(r, c));
+            assert!(
+                (d.get(r, c) - 0.5).abs() < 1e-6,
+                "({r},{c}) = {}",
+                d.get(r, c)
+            );
         }
     }
 

@@ -43,7 +43,13 @@ impl ExecOrderAnalysis {
 pub fn table2_analytic(spec: &DatasetSpec) -> ExecOrderAnalysis {
     ExecOrderAnalysis {
         name: spec.name.clone(),
-        layer1: layer_ops_analytic(spec.nodes, spec.f1, spec.f2, spec.a_density, spec.x1_density),
+        layer1: layer_ops_analytic(
+            spec.nodes,
+            spec.f1,
+            spec.f2,
+            spec.a_density,
+            spec.x1_density,
+        ),
         layer2: layer_ops_analytic(
             spec.nodes,
             spec.f2,

@@ -58,7 +58,10 @@ impl OmegaNetwork {
     ///
     /// Panics if `n` is not a power of two ≥ 2 or `buffer_capacity == 0`.
     pub fn new(n: usize, buffer_capacity: usize) -> Self {
-        assert!(n >= 2 && n.is_power_of_two(), "ports must be a power of two >= 2");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "ports must be a power of two >= 2"
+        );
         assert!(buffer_capacity > 0, "buffer capacity must be positive");
         let stages = n.trailing_zeros() as usize;
         OmegaNetwork {
@@ -118,9 +121,7 @@ impl OmegaNetwork {
     pub fn tick(&mut self) -> Vec<(usize, Packet)> {
         let mut delivered = Vec::new();
         // One packet per receiving port per cycle, network-wide.
-        let mut claimed: Vec<Vec<bool>> = (0..self.stages)
-            .map(|_| vec![false; self.n])
-            .collect();
+        let mut claimed: Vec<Vec<bool>> = (0..self.stages).map(|_| vec![false; self.n]).collect();
         let mut out_claimed = vec![false; self.n];
         // Back-to-front so a packet moves at most one stage per cycle and
         // freed slots are visible upstream within the same cycle.

@@ -103,8 +103,7 @@ mod tests {
     #[test]
     fn measured_path_returns_positive() {
         use awb_datasets::GeneratedDataset;
-        let data =
-            GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(128), 2).unwrap();
+        let data = GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(128), 2).unwrap();
         let input = GcnInput::from_dataset(&data).unwrap();
         let ms = measure_software_gcn_ms(&input).unwrap();
         assert!(ms > 0.0);

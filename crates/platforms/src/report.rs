@@ -156,7 +156,10 @@ mod tests {
             result(Platform::FpgaBaseline, 3.0),
             result(Platform::FpgaBaseline, 6.0),
         ];
-        let eie = vec![result(Platform::EieLike, 2.0), result(Platform::EieLike, 4.0)];
+        let eie = vec![
+            result(Platform::EieLike, 2.0),
+            result(Platform::EieLike, 4.0),
+        ];
         let s = SpeedupSummary::from_results(&awb, &cpu, &gpu, &base, &eie);
         assert_eq!(s.vs_cpu, 150.0);
         assert_eq!(s.vs_gpu, 10.0);

@@ -101,7 +101,9 @@ impl Coo {
     pub fn to_csr(&self) -> Csr {
         let (ptr, idx, val) = compress(
             self.rows,
-            self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v)),
+            self.entries
+                .iter()
+                .map(|&(r, c, v)| (r as usize, c as usize, v)),
             self.nnz(),
         );
         Csr::from_parts(self.rows, self.cols, ptr, idx, val)
@@ -112,7 +114,9 @@ impl Coo {
     pub fn to_csc(&self) -> Csc {
         let (ptr, idx, val) = compress(
             self.cols,
-            self.entries.iter().map(|&(r, c, v)| (c as usize, r as usize, v)),
+            self.entries
+                .iter()
+                .map(|&(r, c, v)| (c as usize, r as usize, v)),
             self.nnz(),
         );
         Csc::from_parts(self.rows, self.cols, ptr, idx, val)
@@ -248,7 +252,9 @@ mod tests {
 
     #[test]
     fn from_iterator_sizes_to_max_index() {
-        let coo: Coo = vec![(0usize, 0usize, 1.0f32), (3, 1, 2.0)].into_iter().collect();
+        let coo: Coo = vec![(0usize, 0usize, 1.0f32), (3, 1, 2.0)]
+            .into_iter()
+            .collect();
         assert_eq!(coo.shape(), (4, 2));
         assert_eq!(coo.nnz(), 2);
     }

@@ -103,9 +103,9 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Coo> {
         let v: f32 = match field {
             MmField::Pattern => 1.0,
             MmField::Real | MmField::Integer => {
-                let t = tokens.next().ok_or_else(|| {
-                    SparseError::MalformedFormat("missing value token".into())
-                })?;
+                let t = tokens
+                    .next()
+                    .ok_or_else(|| SparseError::MalformedFormat("missing value token".into()))?;
                 t.parse::<f32>()
                     .map_err(|_| SparseError::MalformedFormat(format!("bad value `{t}`")))?
             }
@@ -199,8 +199,7 @@ fn parse_header(header: &str) -> Result<(MmField, MmSymmetry)> {
 }
 
 fn parse_index(token: Option<&str>, what: &str) -> Result<usize> {
-    let t = token
-        .ok_or_else(|| SparseError::MalformedFormat(format!("missing {what} index")))?;
+    let t = token.ok_or_else(|| SparseError::MalformedFormat(format!("missing {what} index")))?;
     t.parse::<usize>()
         .map_err(|_| SparseError::MalformedFormat(format!("bad {what} index `{t}`")))
 }

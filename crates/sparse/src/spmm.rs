@@ -188,7 +188,7 @@ mod tests {
     fn mac_count_matches_manual() {
         let a = sparse_3x3().to_csc();
         let b = dense_3x2(); // fully dense: every b(j,k) hits col j of A
-        // per column of B: nnz(A) = 4 MACs; 2 columns -> 8.
+                             // per column of B: nnz(A) = 4 MACs; 2 columns -> 8.
         assert_eq!(csc_times_dense_macs(&a, &b), 8);
         // Zero out one b entry -> subtract nnz of that column of A.
         let mut b2 = b.clone();

@@ -20,7 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = DatasetSpec::cora().with_nodes(1024);
     let data = GeneratedDataset::generate(&spec, 9)?;
     let input = GcnInput::from_dataset(&data)?;
-    let config = Design::LocalPlusRemote { hop: 2 }.apply(AccelConfig::builder().n_pes(256).build()?);
+    let config =
+        Design::LocalPlusRemote { hop: 2 }.apply(AccelConfig::builder().n_pes(256).build()?);
 
     // Stage 1: X × W.
     let x_csc = input.x1.to_csc();

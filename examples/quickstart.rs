@@ -24,8 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Baseline: static equal row partition (paper §3).
     let baseline = GcnRunner::new(Design::Baseline.apply(base_config.clone())).run(&input)?;
     // AWB-GCN: 2-hop local sharing + remote switching (paper Design D).
-    let awb =
-        GcnRunner::new(Design::LocalPlusRemote { hop: 2 }.apply(base_config)).run(&input)?;
+    let awb = GcnRunner::new(Design::LocalPlusRemote { hop: 2 }.apply(base_config)).run(&input)?;
 
     println!(
         "baseline : {:>9} cycles, {:>5.1}% PE utilization",

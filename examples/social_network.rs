@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let config = AccelConfig::builder().n_pes(128).build()?;
-    println!("\n{:<10} {:>12} {:>8} {:>10} {:>14}", "design", "cycles", "util", "speedup", "rows switched");
+    println!(
+        "\n{:<10} {:>12} {:>8} {:>10} {:>14}",
+        "design", "cycles", "util", "speedup", "rows switched"
+    );
     let mut baseline_cycles = 0u64;
     for design in [
         Design::Baseline,
@@ -51,7 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             baseline_cycles = outcome.stats.total_cycles();
         }
         // Count tuning rounds across the A-engine SPMMs as the trace.
-        let tuned: usize = outcome.stats.spmms().iter().map(|s| s.tuning_rounds()).sum();
+        let tuned: usize = outcome
+            .stats
+            .spmms()
+            .iter()
+            .map(|s| s.tuning_rounds())
+            .sum();
         println!(
             "{:<10} {:>12} {:>7.1}% {:>9.2}x {:>10} rounds",
             design.label(),

@@ -112,7 +112,8 @@ fn next_value<'a>(
     it: &mut std::slice::Iter<'a, String>,
     flag: &str,
 ) -> Result<&'a String, Box<dyn Error>> {
-    it.next().ok_or_else(|| format!("{flag} needs a value").into())
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value").into())
 }
 
 fn parse_dataset(name: &str) -> Result<PaperDataset, Box<dyn Error>> {
@@ -166,7 +167,10 @@ fn profile(args: &[String]) -> Result<(), Box<dyn Error>> {
     let opts = parse_options(args)?;
     let (spec, data, _input) = load(&opts)?;
     let stats = row_nnz_stats(&data.adjacency);
-    println!("dataset   : {} (scale {:.3}, seed {})", spec.name, opts.scale, opts.seed);
+    println!(
+        "dataset   : {} (scale {:.3}, seed {})",
+        spec.name, opts.scale, opts.seed
+    );
     println!("nodes     : {}", spec.nodes);
     println!("features  : {} -> {} -> {}", spec.f1, spec.f2, spec.f3);
     println!(
@@ -229,7 +233,10 @@ fn compare(args: &[String]) -> Result<(), Box<dyn Error>> {
         Design::LocalPlusRemote { hop: 2 },
     ];
     let mut base_cycles = None;
-    println!("{:<10} {:>12} {:>8} {:>9}", "design", "cycles", "util", "speedup");
+    println!(
+        "{:<10} {:>12} {:>8} {:>9}",
+        "design", "cycles", "util", "speedup"
+    );
     for design in designs {
         opts.design = design;
         let config = config_for(&opts)?;

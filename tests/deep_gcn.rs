@@ -27,21 +27,20 @@ fn deep_input(layers: usize, seed: u64) -> GcnInput {
 #[test]
 fn four_layer_network_verifies() {
     let input = deep_input(4, 5);
-    let config = Design::LocalPlusRemote { hop: 2 }
-        .apply(AccelConfig::builder().n_pes(32).build().unwrap());
+    let config =
+        Design::LocalPlusRemote { hop: 2 }.apply(AccelConfig::builder().n_pes(32).build().unwrap());
     let outcome = GcnRunner::new(config).run(&input).unwrap();
     assert_eq!(outcome.stats.layers.len(), 4);
     assert_eq!(outcome.output.shape(), (192, 7));
-    let diff =
-        awb_gcn_repro::accel::verify_against_reference(&input, &outcome, 5e-3).unwrap();
+    let diff = awb_gcn_repro::accel::verify_against_reference(&input, &outcome, 5e-3).unwrap();
     assert!(diff <= 5e-3, "diff {diff}");
 }
 
 #[test]
 fn a_engine_tunes_once_across_all_layers() {
     let input = deep_input(5, 9);
-    let config = Design::LocalPlusRemote { hop: 2 }
-        .apply(AccelConfig::builder().n_pes(32).build().unwrap());
+    let config =
+        Design::LocalPlusRemote { hop: 2 }.apply(AccelConfig::builder().n_pes(32).build().unwrap());
     let outcome = GcnRunner::new(config).run(&input).unwrap();
     // A's engine tunes during layer 1 and is frozen for layers 2..n.
     let tuning: Vec<usize> = outcome
@@ -52,7 +51,12 @@ fn a_engine_tunes_once_across_all_layers() {
         .collect();
     assert!(tuning[0] > 0, "layer 1 should tune: {tuning:?}");
     for (i, &t) in tuning.iter().enumerate().skip(1) {
-        assert_eq!(t, 0, "layer {} must reuse the frozen map: {tuning:?}", i + 1);
+        assert_eq!(
+            t,
+            0,
+            "layer {} must reuse the frozen map: {tuning:?}",
+            i + 1
+        );
     }
 }
 

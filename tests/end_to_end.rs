@@ -1,9 +1,7 @@
 //! End-to-end: dataset generation → normalization → accelerated inference
 //! → functional verification, across dataset shapes and design points.
 
-use awb_gcn_repro::accel::{
-    verify_against_reference, AccelConfig, Design, GcnRunner,
-};
+use awb_gcn_repro::accel::{verify_against_reference, AccelConfig, Design, GcnRunner};
 use awb_gcn_repro::datasets::{DatasetSpec, GeneratedDataset, PaperDataset, RowOrdering};
 use awb_gcn_repro::gcn::GcnInput;
 
@@ -42,7 +40,9 @@ fn design_progression_improves_utilization_on_skewed_graphs() {
         Design::LocalSharing { hop: 2 },
         Design::LocalPlusRemote { hop: 3 },
     ] {
-        let outcome = GcnRunner::new(design.apply(config(128))).run(&input).unwrap();
+        let outcome = GcnRunner::new(design.apply(config(128)))
+            .run(&input)
+            .unwrap();
         utils.push((design.label(), outcome.stats.avg_utilization()));
     }
     assert!(

@@ -2,9 +2,7 @@
 //! the detailed component-level engine — functionally exactly (modulo
 //! float summation order) and in its performance trends.
 
-use awb_gcn_repro::accel::{
-    AccelConfig, Design, DetailedEngine, FastEngine, SpmmEngine, TdqMode,
-};
+use awb_gcn_repro::accel::{AccelConfig, Design, DetailedEngine, FastEngine, SpmmEngine, TdqMode};
 use awb_gcn_repro::sparse::{spmm, Coo, Csc, DenseMatrix};
 
 fn config(n_pes: usize) -> AccelConfig {
@@ -17,7 +15,9 @@ fn skewed(n: usize, heavy_rows: usize, heavy_nnz: usize, seed: u64) -> Csc {
     let mut coo = Coo::new(n, n);
     let mut x = seed | 1;
     let mut step = || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (x >> 33) as usize
     };
     for r in 0..heavy_rows {
@@ -54,7 +54,10 @@ fn functional_outputs_agree_across_engines() {
             .run(&a, &b, "t")
             .unwrap();
         assert!(fast.c.approx_eq(&reference, 1e-4), "{design:?} fast");
-        assert!(detailed.c.approx_eq(&reference, 1e-4), "{design:?} detailed");
+        assert!(
+            detailed.c.approx_eq(&reference, 1e-4),
+            "{design:?} detailed"
+        );
     }
 }
 

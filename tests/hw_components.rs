@@ -2,8 +2,8 @@
 //! must compose the way the detailed engine uses them.
 
 use awb_gcn_repro::hw::{
-    average_utilization, AccumulatorBank, MacOp, MacPipeline, OmegaNetwork, Packet,
-    RawScoreboard, RoundRobinArbiter, TaskQueue, UtilizationCounter,
+    average_utilization, AccumulatorBank, MacOp, MacPipeline, OmegaNetwork, Packet, RawScoreboard,
+    RoundRobinArbiter, TaskQueue, UtilizationCounter,
 };
 
 /// A miniature PE: queue → arbiter → scoreboard → pipeline → accumulator,

@@ -2,11 +2,11 @@
 //! conservation, partition invariants under remote switching, and bounds
 //! on the pipeline model.
 
-use awb_gcn_repro::accel::{
-    AccelConfig, Design, FastEngine, LocalSharing, MappingKind, RemoteSwitcher, RowMap,
-    RoundProfile, SltPolicy, SpmmEngine,
-};
 use awb_gcn_repro::accel::pipeline::{pipeline_chain, pipeline_two_stage};
+use awb_gcn_repro::accel::{
+    AccelConfig, Design, FastEngine, LocalSharing, MappingKind, RemoteSwitcher, RoundProfile,
+    RowMap, SltPolicy, SpmmEngine,
+};
 use awb_gcn_repro::sparse::{spmm, Coo, Csc, DenseMatrix};
 use proptest::prelude::*;
 
@@ -40,6 +40,11 @@ fn design_strategy() -> impl Strategy<Value = Design> {
 }
 
 proptest! {
+    // Engine runs dominate this suite's cost; 48 cases keeps it well under
+    // a second while still covering every design point. CI additionally
+    // caps every proptest suite via the PROPTEST_CASES environment
+    // variable (a cap, never a raise — see vendor/proptest). Known-tricky
+    // seeds are pinned in proptest-regressions/tests/.
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Whatever the design point, the engine computes exactly A×B and

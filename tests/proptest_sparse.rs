@@ -7,18 +7,16 @@ use proptest::prelude::*;
 /// Strategy: a random sparse matrix as (rows, cols, triplets).
 fn coo_strategy(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Coo> {
     (1..max_dim, 1..max_dim).prop_flat_map(move |(rows, cols)| {
-        proptest::collection::vec(
-            (0..rows, 0..cols, -8i32..8),
-            0..max_nnz,
+        proptest::collection::vec((0..rows, 0..cols, -8i32..8), 0..max_nnz).prop_map(
+            move |entries| {
+                let mut coo = Coo::new(rows, cols);
+                for (r, c, v) in entries {
+                    // Quantized values keep float sums exact across kernels.
+                    coo.push(r, c, v as f32).unwrap();
+                }
+                coo
+            },
         )
-        .prop_map(move |entries| {
-            let mut coo = Coo::new(rows, cols);
-            for (r, c, v) in entries {
-                // Quantized values keep float sums exact across kernels.
-                coo.push(r, c, v as f32).unwrap();
-            }
-            coo
-        })
     })
 }
 
@@ -29,6 +27,10 @@ fn dense_strategy(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix
 }
 
 proptest! {
+    // 128 cases keeps this suite in the hundreds of milliseconds; CI
+    // additionally caps every proptest suite via the PROPTEST_CASES
+    // environment variable (a cap, never a raise — see vendor/proptest).
+    // Known-tricky seeds are pinned in proptest-regressions/tests/.
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]

@@ -1,0 +1,214 @@
+//! Offline API-compatible subset of [criterion](https://crates.io/crates/criterion).
+//!
+//! The container building this repository has no route to a cargo registry,
+//! so the real crate cannot be fetched. This stub keeps the repository's
+//! `harness = false` criterion benches compiling and producing meaningful
+//! plain-text numbers: each `bench_function` is warmed up, then timed over
+//! enough iterations to fill a short measurement window, and the mean
+//! time per iteration (plus throughput, when set) is printed. There are no
+//! statistical analyses, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver. [`Default`]-constructed by
+/// [`criterion_group!`]; command-line filtering is not implemented.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(300),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        let (measurement_time, sample_size) = (self.measurement_time, self.sample_size);
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            measurement_time,
+            sample_size,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let measurement_time = self.measurement_time;
+        let sample_size = self.sample_size;
+        run_one(&id, None, measurement_time, sample_size, f);
+        self
+    }
+}
+
+/// Work-per-iteration declaration used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes (reported in binary units).
+    Bytes(u64),
+    /// Iteration processes this many bytes (reported in decimal units).
+    BytesDecimal(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+/// Measurement overrides are scoped to the group, as in the real crate.
+pub struct BenchmarkGroup<'a> {
+    // Held to mirror the real crate: a group exclusively borrows the driver.
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the measurement window for this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Override the target sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Time one function and print its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(
+            &id,
+            self.throughput,
+            self.measurement_time,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// End the group (drop would do the same; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; call [`Bencher::iter`] with
+/// the code under test.
+pub struct Bencher {
+    measurement_time: Duration,
+    sample_size: usize,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement window is filled.
+    pub fn iter<Output, Routine>(&mut self, mut routine: Routine)
+    where
+        Routine: FnMut() -> Output,
+    {
+        // Warm-up and per-iteration cost estimate.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        let target_iterations = (self.measurement_time.as_nanos() / estimate.as_nanos()).max(1);
+        let iterations = target_iterations.min(self.sample_size.max(1) as u128 * 1000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+fn run_one<F>(
+    id: &str,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    sample_size: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        measurement_time,
+        sample_size,
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        eprintln!("  {id}: no measurement (Bencher::iter never called)");
+        return;
+    }
+    let nanos_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("{:.3} Melem/s", n as f64 / nanos_per_iter * 1e3),
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            format!("{:.3} MB/s", n as f64 / nanos_per_iter * 1e3)
+        }
+    });
+    match rate {
+        Some(rate) => eprintln!(
+            "  {id}: {:.1} ns/iter ({} iters), {rate}",
+            nanos_per_iter, bencher.iterations
+        ),
+        None => eprintln!(
+            "  {id}: {:.1} ns/iter ({} iters)",
+            nanos_per_iter, bencher.iterations
+        ),
+    }
+}
+
+/// Collect benchmark functions into a runner function named `$group`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,769 @@
+//! Offline API-compatible subset of [proptest](https://crates.io/crates/proptest).
+//!
+//! The container building this repository has no route to a cargo registry,
+//! so the real crate cannot be fetched. This stub implements exactly the
+//! surface the workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * range, tuple, [`strategy::Just`], and [`collection::vec`] strategies,
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], [`prop_oneof!`],
+//! * deterministic seeding, the `PROPTEST_CASES` environment override, and
+//!   failing-seed persistence/replay under `proptest-regressions/`.
+//!
+//! It does **not** shrink failing inputs; the persisted seed replays the
+//! original failing case instead.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Case execution: config, error type, RNG, and the runner loop.
+
+    use std::fmt;
+
+    /// Deterministic splitmix64-based RNG used to generate every case.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Create an RNG from a case seed.
+        pub fn new(seed: u64) -> Self {
+            // Avoid the all-zero fixed point and decorrelate nearby seeds.
+            Self {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+    }
+
+    /// Per-test configuration. Named `ProptestConfig` in the prelude, like
+    /// the real crate.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run (before the `PROPTEST_CASES`
+        /// environment override).
+        pub cases: u32,
+        /// Maximum consecutive `prop_assume!` rejections per case slot.
+        pub max_local_rejects: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_local_rejects: 64,
+            }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — the input is discarded, not a failure.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failed assertion.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self::Fail(message.into())
+        }
+
+        /// A rejected (assumed-away) input.
+        pub fn reject(message: impl Into<String>) -> Self {
+            Self::Reject(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Self::Reject(m) => write!(f, "input rejected: {m}"),
+                Self::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    /// FNV-1a, used to derive a per-test base seed from the test name so
+    /// every test explores a distinct deterministic sequence.
+    fn fnv1a(text: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in text.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// `PROPTEST_CASES` acts as a cap on the per-test `cases` config, so CI
+    /// can bound total property-test time without editing every test.
+    fn effective_cases(config: &Config) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(n) => config.cases.min(n),
+            None => config.cases,
+        }
+    }
+
+    /// Path of the persistence file for a source file, mirroring the real
+    /// crate's `proptest-regressions/` convention. `source` is the value of
+    /// `file!()` in the test, relative to the workspace root.
+    fn persistence_path(source: &str) -> Option<std::path::PathBuf> {
+        let root = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+        let rel = std::path::Path::new(source).with_extension("txt");
+        Some(
+            std::path::Path::new(&root)
+                .join("proptest-regressions")
+                .join(rel),
+        )
+    }
+
+    /// Parse persisted seeds: lines of the form `cc <16-hex-digit-seed> ...`.
+    pub(crate) fn parse_seeds(text: &str) -> Vec<u64> {
+        text.lines()
+            .filter_map(|line| {
+                let mut parts = line.split_whitespace();
+                if parts.next()? != "cc" {
+                    return None;
+                }
+                u64::from_str_radix(parts.next()?, 16).ok()
+            })
+            .collect()
+    }
+
+    fn persisted_seeds(source: &str) -> Vec<u64> {
+        let Some(path) = persistence_path(source) else {
+            return Vec::new();
+        };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        parse_seeds(&text)
+    }
+
+    /// Best-effort persistence of a failing seed so the next run replays it.
+    fn persist_failure(source: &str, test_name: &str, seed: u64) {
+        let Some(path) = persistence_path(source) else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if persisted_seeds(source).contains(&seed) {
+            return;
+        }
+        let header = if path.exists() {
+            String::new()
+        } else {
+            "# Seeds for failing cases discovered by the vendored proptest stub.\n\
+             # Format: `cc <16-hex-digit case seed> # <test that failed>`.\n\
+             # Replayed (for every test in this file) before random cases.\n"
+                .to_string()
+        };
+        let line = format!("{header}cc {seed:016x} # {test_name}\n");
+        use std::io::Write as _;
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+
+    /// Run one property test: replay persisted seeds, then `config.cases`
+    /// deterministic random cases. Panics (failing the `#[test]`) on the
+    /// first case whose closure returns [`TestCaseError::Fail`].
+    pub fn run<F>(source: &str, test_name: &str, config: &Config, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(test_name);
+        let replay = persisted_seeds(source);
+        let cases = effective_cases(config);
+        let mut executed = 0u64;
+
+        let run_seed = |seed: u64, case: &mut F, persist: bool| {
+            let mut rng = TestRng::new(seed);
+            match case(&mut rng) {
+                Ok(()) => true,
+                Err(TestCaseError::Reject(_)) => false,
+                Err(TestCaseError::Fail(message)) => {
+                    if persist {
+                        persist_failure(source, test_name, seed);
+                    }
+                    panic!(
+                        "proptest `{test_name}` failed (seed cc {seed:016x}, \
+                         persisted in proptest-regressions/): {message}"
+                    );
+                }
+            }
+        };
+
+        for seed in replay {
+            // Replayed seeds come from a file shared by every test in the
+            // source file; a rejection here is expected and not retried.
+            run_seed(seed, &mut case, false);
+        }
+
+        for index in 0..cases {
+            // Each case slot gets its own seed; `prop_assume!` rejections
+            // retry the slot with a derived seed a bounded number of times.
+            for attempt in 0..config.max_local_rejects.max(1) {
+                let seed = base
+                    ^ (index as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)
+                    ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                if run_seed(seed, &mut case, true) {
+                    executed += 1;
+                    break;
+                }
+            }
+        }
+        // A strategy whose `prop_assume!` rejects every generated input
+        // would otherwise go green having tested nothing (the real crate
+        // aborts with "too many global rejects" in this situation).
+        assert!(
+            cases == 0 || executed > 0,
+            "proptest `{test_name}`: every generated input was rejected by \
+             prop_assume!; the property was never actually tested"
+        );
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// Unlike the real crate this stub has no value tree / shrinking;
+    /// `generate` produces the value directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `map_fn`.
+        fn prop_map<Output, MapFn>(self, map_fn: MapFn) -> Map<Self, MapFn>
+        where
+            Self: Sized,
+            MapFn: Fn(Self::Value) -> Output,
+        {
+            Map {
+                source: self,
+                map_fn,
+            }
+        }
+
+        /// Use a generated value to pick a second strategy, then draw from it.
+        fn prop_flat_map<Inner, FlatMapFn>(self, flat_map_fn: FlatMapFn) -> FlatMap<Self, FlatMapFn>
+        where
+            Self: Sized,
+            Inner: Strategy,
+            FlatMapFn: Fn(Self::Value) -> Inner,
+        {
+            FlatMap {
+                source: self,
+                flat_map_fn,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<Source, MapFn> {
+        source: Source,
+        map_fn: MapFn,
+    }
+
+    impl<Source, MapFn, Output> Strategy for Map<Source, MapFn>
+    where
+        Source: Strategy,
+        MapFn: Fn(Source::Value) -> Output,
+    {
+        type Value = Output;
+
+        fn generate(&self, rng: &mut TestRng) -> Output {
+            (self.map_fn)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<Source, FlatMapFn> {
+        source: Source,
+        flat_map_fn: FlatMapFn,
+    }
+
+    impl<Source, FlatMapFn, Inner> Strategy for FlatMap<Source, FlatMapFn>
+    where
+        Source: Strategy,
+        Inner: Strategy,
+        FlatMapFn: Fn(Source::Value) -> Inner,
+    {
+        type Value = Inner::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Inner::Value {
+            (self.flat_map_fn)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! unsigned_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() - *self.start()) as u64;
+                    // Span may be the full domain; saturate instead of +1 overflow.
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    *self.start() + rng.below(span + 1) as $t
+                }
+            }
+        )+};
+    }
+
+    unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i64).wrapping_sub(*self.start() as i64) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (*self.start() as i64).wrapping_add(rng.below(span + 1) as i64) as $t
+                }
+            }
+        )+};
+    }
+
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::std::ops::Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            (self.start as f64 + unit * (self.end - self.start) as f64) as f32
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Uniform choice among boxed alternatives — the engine behind
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<Value> {
+        alternatives: Vec<Box<dyn Strategy<Value = Value>>>,
+    }
+
+    impl<Value> Union<Value> {
+        /// Build from a non-empty list of alternatives.
+        pub fn new(alternatives: Vec<Box<dyn Strategy<Value = Value>>>) -> Self {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Self { alternatives }
+        }
+    }
+
+    impl<Value> Strategy for Union<Value> {
+        type Value = Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Value {
+            let index = rng.below(self.alternatives.len() as u64) as usize;
+            self.alternatives[index].generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Admissible length specifications for [`vec`]: an exact `usize`, a
+    /// `Range<usize>`, or a `RangeInclusive<usize>`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(range: ::std::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty vec length range");
+            Self {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: ::std::ops::RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty vec length range");
+            Self {
+                min: *range.start(),
+                max_exclusive: *range.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<Element::Value>` with length drawn from a
+    /// [`SizeRange`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<Element> {
+        element: Element,
+        size: SizeRange,
+    }
+
+    impl<Element: Strategy> Strategy for VecStrategy<Element> {
+        type Value = Vec<Element::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, len)` — a vector of values drawn
+    /// from `element` with length in `len`.
+    pub fn vec<Element: Strategy>(
+        element: Element,
+        size: impl Into<SizeRange>,
+    ) -> VecStrategy<Element> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pattern in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run(
+                file!(),
+                stringify!($name),
+                &config,
+                |__proptest_rng| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure fails the case
+/// (with the case's seed in the panic message) rather than panicking inline.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!(left == right)` without requiring `Debug` on the operands.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                $($fmt)+
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!(left != right)` without requiring `Debug` on the operands.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (not a failure) when its inputs don't satisfy a
+/// precondition; the runner retries the slot with fresh inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let alternatives: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::strategy::Union::new(alternatives)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection;
+    use crate::strategy::{Just, Strategy};
+    use crate::test_runner::{parse_seeds, TestRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..2000 {
+            let u = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&u));
+            let s = (-8i32..8).generate(&mut rng);
+            assert!((-8..8).contains(&s));
+            let f = (0.25f64..4.0).generate(&mut rng);
+            assert!((0.25..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_honor_size_range() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..500 {
+            let exact = collection::vec(0u8..5, 16).generate(&mut rng);
+            assert_eq!(exact.len(), 16);
+            let ranged = collection::vec(0u8..5, 2..9).generate(&mut rng);
+            assert!((2..9).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strategy = (1usize..50, 0i32..100).prop_map(|(a, b)| (a, b));
+        let a: Vec<_> = {
+            let mut rng = TestRng::new(42);
+            (0..64).map(|_| strategy.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::new(42);
+            (0..64).map(|_| strategy.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_map_feeds_outer_value_through() {
+        let mut rng = TestRng::new(3);
+        let strategy = (1usize..8).prop_flat_map(|n| collection::vec(0usize..n.max(1), n));
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < v.len().max(1)));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_alternative() {
+        let mut rng = TestRng::new(9);
+        let strategy = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strategy.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn seed_file_parsing_matches_committed_format() {
+        let text = "# comment line\n\
+                    cc 0000000000000000 # zero\n\
+                    cc 9e3779b97f4a7c15 # golden ratio\n\
+                    not-a-seed-line\n\
+                    cc zzzz # unparseable is skipped\n";
+        assert_eq!(parse_seeds(text), vec![0, 0x9e3779b97f4a7c15]);
+    }
+}
