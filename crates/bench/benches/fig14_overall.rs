@@ -14,9 +14,10 @@
 //! Run: `cargo bench -p awb-bench --bench fig14_overall`
 //! (`AWB_FULL_SCALE=1` for full-size Nell/Reddit.)
 
-use awb_accel::{AreaModel, GcnRunOutcome};
+use awb_accel::{exec, AreaModel, GcnRunOutcome};
 use awb_bench::{pct, render_table, BenchDataset};
 use awb_datasets::PaperDataset;
+use std::time::Instant;
 
 fn main() {
     // Paper Fig. 14 A-E utilizations (baseline, best design D).
@@ -40,7 +41,11 @@ fn main() {
             paper_best * 100.0
         );
         let designs = bench.designs();
-        let outcomes: Vec<GcnRunOutcome> = designs.iter().map(|d| bench.run_design(*d)).collect();
+        // The five design points are independent simulations: fan them out
+        // on the exec substrate (AWB_THREADS workers, deterministic order).
+        let point_start = Instant::now();
+        let outcomes: Vec<GcnRunOutcome> = exec::par_map(&designs, |d| bench.run_design(*d));
+        let point_wall = point_start.elapsed();
         let base_cycles = outcomes[0].stats.total_cycles();
 
         // --- Panel A-E: overall delay + utilization ---
@@ -130,7 +135,12 @@ fn main() {
                 &rows
             )
         );
-        println!();
+        println!(
+            "[{} point: {:.2}s wall for 5 designs, {} threads]\n",
+            dataset.name(),
+            point_wall.as_secs_f64(),
+            exec::num_threads()
+        );
     }
     println!(
         "Paper cross-checks: rebalancing lifts utilization on every dataset with\n\

@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo bench -p awb-bench --bench fig15_scalability`
 
-use awb_accel::{AreaModel, Design, GcnRunner};
+use awb_accel::{exec, AreaModel, Design, GcnRunner};
 use awb_bench::{pct, render_table, BenchDataset};
 use awb_datasets::PaperDataset;
 
@@ -36,36 +36,43 @@ fn main() {
             pe_counts,
             hop
         );
-        let mut rows = Vec::new();
-        for &n_pes in &pe_counts {
-            for design in [
-                Design::Baseline,
-                Design::LocalSharing { hop },
-                Design::LocalPlusRemote { hop },
-            ] {
-                let mut builder = awb_accel::AccelConfig::builder();
-                builder.n_pes(n_pes);
-                let config = design.apply(builder.build().expect("valid config"));
-                let out = GcnRunner::new(config.clone())
-                    .run(&bench.input)
-                    .expect("simulation");
-                let tq_slots = out
-                    .stats
-                    .spmms()
-                    .iter()
-                    .map(|s| s.total_queue_slots())
-                    .max()
-                    .unwrap_or(0);
-                let area = area_model.breakdown(&config, tq_slots);
-                rows.push(vec![
-                    format!("{n_pes}"),
-                    design.label(),
-                    format!("{}", out.stats.total_cycles()),
-                    pct(out.stats.avg_utilization()),
-                    format!("{:.0}", area.total()),
-                ]);
-            }
-        }
+        // The 3×3 grid points are independent simulations: fan them out on
+        // the exec substrate (AWB_THREADS workers, deterministic order).
+        let grid: Vec<(usize, Design)> = pe_counts
+            .iter()
+            .flat_map(|&n_pes| {
+                [
+                    Design::Baseline,
+                    Design::LocalSharing { hop },
+                    Design::LocalPlusRemote { hop },
+                ]
+                .into_iter()
+                .map(move |design| (n_pes, design))
+            })
+            .collect();
+        let rows = exec::par_map(&grid, |&(n_pes, design)| {
+            let mut builder = awb_accel::AccelConfig::builder();
+            builder.n_pes(n_pes);
+            let config = design.apply(builder.build().expect("valid config"));
+            let out = GcnRunner::new(config.clone())
+                .run(&bench.input)
+                .expect("simulation");
+            let tq_slots = out
+                .stats
+                .spmms()
+                .iter()
+                .map(|s| s.total_queue_slots())
+                .max()
+                .unwrap_or(0);
+            let area = area_model.breakdown(&config, tq_slots);
+            vec![
+                format!("{n_pes}"),
+                design.label(),
+                format!("{}", out.stats.total_cycles()),
+                pct(out.stats.avg_utilization()),
+                format!("{:.0}", area.total()),
+            ]
+        });
         println!(
             "{}",
             render_table(&["PEs", "design", "cycles", "util", "CLB total"], &rows)

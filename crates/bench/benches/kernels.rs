@@ -21,7 +21,7 @@ fn bench_spmm_kernels(c: &mut Criterion) {
         (0..a_csc.cols() * 16).map(|i| (i % 7) as f32).collect(),
     )
     .expect("dense B");
-    let macs = spmm::csc_times_dense_macs(&a_csc, &b) as u64;
+    let macs = spmm::csc_times_dense_macs(&a_csc, &b).unwrap() as u64;
 
     let mut group = c.benchmark_group("spmm_reference");
     group.throughput(Throughput::Elements(macs));
@@ -30,6 +30,44 @@ fn bench_spmm_kernels(c: &mut Criterion) {
     });
     group.bench_function("csr_times_dense/cora_a_x16", |bench| {
         bench.iter(|| spmm::csr_times_dense(black_box(&data.adjacency), black_box(&b)).unwrap())
+    });
+    group.finish();
+}
+
+/// Old (per-element `get`/`set`) vs new (slice-accumulate) kernels — the
+/// upgrade tracked by ISSUE 2's satellite; both orderings are bit-identical
+/// (asserted in `awb_sparse::spmm` tests), so this group is pure speed.
+fn bench_kernel_old_vs_new(c: &mut Criterion) {
+    let data = GeneratedDataset::generate(&DatasetSpec::cora(), 5).expect("dataset");
+    let a_csc = data.adjacency.to_csc();
+    let b = DenseMatrix::from_vec(
+        a_csc.cols(),
+        16,
+        (0..a_csc.cols() * 16).map(|i| (i % 7) as f32).collect(),
+    )
+    .expect("dense B");
+    let macs = spmm::csc_times_dense_macs(&a_csc, &b).unwrap() as u64;
+
+    let mut group = c.benchmark_group("kernels_old_vs_new");
+    group.throughput(Throughput::Elements(macs));
+    group.bench_function("csc_times_dense/naive", |bench| {
+        bench.iter(|| spmm::csc_times_dense_naive(black_box(&a_csc), black_box(&b)).unwrap())
+    });
+    group.bench_function("csc_times_dense/slice", |bench| {
+        bench.iter(|| spmm::csc_times_dense(black_box(&a_csc), black_box(&b)).unwrap())
+    });
+    group.finish();
+
+    // SpGEMM on a smaller graph (dense result is rows x rows).
+    let small = GeneratedDataset::generate(&DatasetSpec::cora().with_nodes(512), 5).expect("data");
+    let a_csr = &small.adjacency;
+    let mut group = c.benchmark_group("kernels_old_vs_new");
+    group.throughput(Throughput::Elements(a_csr.nnz() as u64));
+    group.bench_function("csr_times_csr/naive", |bench| {
+        bench.iter(|| spmm::csr_times_csr_naive(black_box(a_csr), black_box(a_csr)).unwrap())
+    });
+    group.bench_function("csr_times_csr/slice", |bench| {
+        bench.iter(|| spmm::csr_times_csr(black_box(a_csr), black_box(a_csr)).unwrap())
     });
     group.finish();
 }
@@ -53,7 +91,7 @@ fn bench_fast_engine(c: &mut Criterion) {
         (0..a_csc.cols() * 16).map(|i| (i % 7) as f32).collect(),
     )
     .expect("dense B");
-    let tasks = spmm::csc_times_dense_macs(&a_csc, &b) as u64;
+    let tasks = spmm::csc_times_dense_macs(&a_csc, &b).unwrap() as u64;
 
     let mut group = c.benchmark_group("fast_engine");
     group.throughput(Throughput::Elements(tasks));
@@ -62,6 +100,18 @@ fn bench_fast_engine(c: &mut Criterion) {
             bench.iter(|| {
                 let config = design.apply(AccelConfig::builder().n_pes(1024).build().unwrap());
                 FastEngine::new(config)
+                    .run(black_box(&a_csc), black_box(&b), "bench")
+                    .unwrap()
+            })
+        });
+        // The same design point with the steady-state replay cache off:
+        // the pre-ISSUE-2 cost of every round.
+        group.bench_function(format!("cora_a/{}/no_replay", design.label()), |bench| {
+            bench.iter(|| {
+                let config = design.apply(AccelConfig::builder().n_pes(1024).build().unwrap());
+                let mut engine = FastEngine::new(config);
+                engine.set_replay_enabled(false);
+                engine
                     .run(black_box(&a_csc), black_box(&b), "bench")
                     .unwrap()
             })
@@ -105,6 +155,7 @@ fn bench_omega_network(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_spmm_kernels,
+    bench_kernel_old_vs_new,
     bench_format_conversion,
     bench_fast_engine,
     bench_omega_network

@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo bench -p awb-bench --bench table3_cross_platform`
 
-use awb_accel::{cycles_to_ms, Design};
+use awb_accel::{cycles_to_ms, exec, Design};
 use awb_bench::{render_table, BenchDataset};
 use awb_datasets::PaperDataset;
 use awb_platforms::{workload_spmms, CpuModel, GpuModel, Platform, PlatformResult, SpeedupSummary};
@@ -37,7 +37,11 @@ fn main() {
     let mut baseline = Vec::new();
     let mut eie = Vec::new();
 
-    for (dataset, paper) in PaperDataset::all().into_iter().zip(paper_latency) {
+    // Per-dataset work (generation + three simulated designs) is
+    // independent: fan the five datasets out on the exec substrate
+    // (AWB_THREADS workers, deterministic order), then render sequentially.
+    let datasets = PaperDataset::all();
+    let simulated = exec::par_map(&datasets, |&dataset| {
         let bench = BenchDataset::load(dataset);
         // All platforms must see the *same* problem: the analytic CPU/GPU
         // models consume the scaled spec's workload, matching what the
@@ -58,7 +62,14 @@ fn main() {
         let base_ms = cycles_to_ms(base_run.stats.total_cycles(), 275.0);
         let eie_ms = cycles_to_ms(eie_run.stats.total_cycles(), 285.0);
         let awb_ms = cycles_to_ms(awb_run.stats.total_cycles(), 275.0);
+        (cpu_ms, gpu_ms, eie_ms, base_ms, awb_ms)
+    });
 
+    for ((dataset, paper), (cpu_ms, gpu_ms, eie_ms, base_ms, awb_ms)) in datasets
+        .into_iter()
+        .zip(paper_latency)
+        .zip(simulated.into_iter())
+    {
         let mk = |p: Platform, ms: f64| PlatformResult::new(p, dataset.name(), ms);
         let r_cpu = mk(Platform::Cpu, cpu_ms);
         let r_gpu = mk(Platform::Gpu, gpu_ms);

@@ -1,0 +1,251 @@
+//! Bench smoke: a quick, CI-friendly engine-throughput measurement that
+//! writes a machine-readable `BENCH_engine.json`, seeding the repository's
+//! perf trajectory (each PR's CI run leaves a comparable record).
+//!
+//! Runs the fast engine on the Cora adjacency (the `kernels` bench's
+//! `fast_engine` workload) for the baseline and Design-D points, both with
+//! the steady-state replay cache and with it disabled, and records tasks,
+//! wall-clock, and tasks/second.
+//!
+//! Usage:
+//!   cargo run --release -p awb_bench --example bench_smoke [-- --out PATH]
+//!   cargo run --release -p awb_bench --example bench_smoke -- --check PATH
+//!
+//! `--check` re-reads a previously written file and fails (non-zero exit)
+//! if it is malformed: not syntactically valid JSON, or missing the
+//! required record fields. CI runs write-then-check.
+
+use awb_accel::{exec, AccelConfig, Design, FastEngine, SpmmEngine};
+use awb_bench::BENCH_SEED;
+use awb_datasets::{DatasetSpec, GeneratedDataset};
+use awb_sparse::DenseMatrix;
+use std::time::Instant;
+
+const DEFAULT_PATH: &str = "BENCH_engine.json";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check") => {
+            let path = args.get(1).map(String::as_str).unwrap_or(DEFAULT_PATH);
+            check(path);
+        }
+        Some("--out") => {
+            let path = args.get(1).map(String::as_str).unwrap_or(DEFAULT_PATH);
+            write_bench(path);
+        }
+        None => write_bench(DEFAULT_PATH),
+        Some(other) => {
+            eprintln!("unknown argument {other}; use --out PATH or --check PATH");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn write_bench(path: &str) {
+    let data = GeneratedDataset::generate(&DatasetSpec::cora(), BENCH_SEED).expect("dataset");
+    let a = data.adjacency.to_csc();
+    let b = DenseMatrix::from_vec(
+        a.cols(),
+        16,
+        (0..a.cols() * 16).map(|i| (i % 7) as f32 + 1.0).collect(),
+    )
+    .expect("dense B");
+
+    let mut records = String::new();
+    for design in [Design::Baseline, Design::LocalPlusRemote { hop: 2 }] {
+        for replay in [true, false] {
+            let config = design.apply(AccelConfig::builder().n_pes(1024).build().unwrap());
+            // Warm once (dataset faults, allocator), measure the second.
+            let mut engine = FastEngine::new(config.clone());
+            engine.set_replay_enabled(replay);
+            engine.run(&a, &b, "warmup").unwrap();
+            let mut engine = FastEngine::new(config);
+            engine.set_replay_enabled(replay);
+            let start = Instant::now();
+            let out = engine.run(&a, &b, "smoke").unwrap();
+            let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+            let tasks = out.stats.total_tasks();
+            if !records.is_empty() {
+                records.push_str(",\n");
+            }
+            records.push_str(&format!(
+                "    {{\"dataset\": \"cora\", \"design\": \"{}\", \"replay\": {}, \
+                 \"n_pes\": 1024, \"tasks\": {}, \"wall_s\": {:.6}, \"tasks_per_s\": {:.1}}}",
+                design.label(),
+                replay,
+                tasks,
+                wall_s,
+                tasks as f64 / wall_s
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
+         \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
+        exec::num_threads(),
+        records
+    );
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("wrote {path}:\n{json}");
+}
+
+fn check(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("BENCH check failed: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = validate_json(&text) {
+        eprintln!("BENCH check failed: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    for field in [
+        "\"bench\"",
+        "\"records\"",
+        "\"dataset\"",
+        "\"design\"",
+        "\"tasks\"",
+        "\"wall_s\"",
+        "\"tasks_per_s\"",
+    ] {
+        if !text.contains(field) {
+            eprintln!("BENCH check failed: {path} lacks required field {field}");
+            std::process::exit(1);
+        }
+    }
+    println!("{path}: ok");
+}
+
+/// Minimal JSON syntax validator (objects, arrays, strings, numbers,
+/// booleans, null). No external crates are available in this build
+/// environment, and the smoke file only needs a malformed/not-malformed
+/// verdict plus the field checks above.
+fn validate_json(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {pos:?}", *c as char)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos:?}"));
+        }
+        *pos += 1;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos:?}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos:?}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos:?}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    token
+        .parse::<f64>()
+        .map(|_| ())
+        .map_err(|_| format!("bad number {token:?} at byte {start}"))
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos:?}"))
+    }
+}

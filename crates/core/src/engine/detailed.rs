@@ -509,7 +509,7 @@ mod tests {
         let out = engine.run(&a, &b, "t").unwrap();
         assert_eq!(
             out.stats.total_tasks(),
-            spmm::csc_times_dense_macs(&a, &b) as u64
+            spmm::csc_times_dense_macs(&a, &b).unwrap() as u64
         );
     }
 

@@ -1,4 +1,6 @@
-//! The fast SPMM engine: O(1) work per MAC task.
+//! The fast SPMM engine: O(1) work per MAC task — and O(1) work per
+//! *round* once the configuration has frozen and the round's structure has
+//! been seen before.
 //!
 //! Models the architecture at queue-dynamics granularity:
 //!
@@ -14,18 +16,263 @@
 //! * remote switching and auto-tuning run between rounds on the per-round
 //!   PE-busy profile.
 //!
+//! # Steady-state round replay
+//!
+//! Once the auto-tuner freezes the row map, a round's queue dynamics are a
+//! pure function of *which* dense-operand entries `b(j, k)` are non-zero —
+//! the values only scale the products, never the schedule. The engine
+//! therefore memoizes the per-round timing ([`RoundStats`] fields plus the
+//! per-PE queue high-water marks) keyed by the round's non-zero column
+//! pattern, and replays it for every later round with the same pattern
+//! (in GCN layers most rounds are fully dense in `b[:, k]` and share one
+//! pattern — including across the layer-2 reuse of `A`'s engine). Replayed
+//! rounds' numerics run through the tight
+//! [`csc_axpy_column`](awb_sparse::spmm::csc_axpy_column) slice kernel.
+//! The cache is only consulted when the operand is resident on chip and is
+//! guarded by a fingerprint of the operand's sparsity structure; see
+//! `DESIGN.md` §5 for the validity argument.
+//!
+//! Frozen-phase rounds are independent (each owns one output column of
+//! `C`), so they execute on the [`exec`](crate::exec) substrate —
+//! deterministic order, bit-identical to the sequential path at any
+//! `AWB_THREADS` setting.
+//!
 //! The model is validated against [`DetailedEngine`](super::DetailedEngine)
 //! in the crate's integration tests.
 
 use crate::config::{AccelConfig, StallMode};
 use crate::engine::{check_shapes, SpmmEngine, SpmmOutcome};
 use crate::error::AccelError;
+use crate::exec;
 use crate::mapping::RowMap;
 use crate::rebalance::autotuner::AutoTuner;
 use crate::rebalance::local::LocalSharing;
 use crate::rebalance::remote::RoundProfile;
 use crate::stats::{RoundStats, SpmmStats};
+use awb_sparse::spmm::csc_axpy_column;
 use awb_sparse::{Csc, DenseMatrix};
+use std::collections::{HashMap, HashSet};
+
+/// Replay-cache entry cap. GCN workloads need a handful of patterns (most
+/// rounds are fully dense in `b[:, k]`); an operand producing thousands of
+/// distinct patterns gains nothing from memoization, so past the cap fresh
+/// timings are kept for the current run only instead of growing the
+/// engine's footprint without bound.
+const REPLAY_CACHE_CAP: usize = 1024;
+
+/// Memoized timing of one simulated round (cycles exclude the round-0
+/// SPMMeM fill, which is charged at use).
+#[derive(Debug, Clone, PartialEq)]
+struct RoundTiming {
+    /// Barrier cycles (`max_completion`), without any fill charge.
+    cycles: u64,
+    /// MAC tasks executed.
+    tasks: u64,
+    /// Busiest PE's executed-task count.
+    max_pe_busy: u64,
+    /// Least-busy PE's executed-task count.
+    min_pe_busy: u64,
+    /// Largest queue occupancy on any PE.
+    max_queue_depth: usize,
+    /// RaW-hazard stall cycles.
+    raw_stalls: u64,
+    /// Per-PE queue high-water marks (merged into the SPMM-level vector
+    /// for steady-state rounds).
+    queue_high_water: Vec<u32>,
+}
+
+impl RoundTiming {
+    fn to_stats(&self, cycles: u64, tuning_active: bool) -> RoundStats {
+        RoundStats {
+            cycles,
+            tasks: self.tasks,
+            busy_cycles: self.tasks,
+            max_pe_busy: self.max_pe_busy,
+            min_pe_busy: self.min_pe_busy,
+            max_queue_depth: self.max_queue_depth,
+            raw_stalls: self.raw_stalls,
+            tuning_active,
+        }
+    }
+}
+
+/// Result of simulating one round: the memoizable timing plus the
+/// owner-attributed load profile the auto-tuner consumes.
+struct SimRound {
+    timing: RoundTiming,
+    owner_busy: Vec<u64>,
+}
+
+/// Fixed per-run simulation parameters shared by every round.
+#[derive(Clone, Copy)]
+struct SimParams {
+    n_pes: usize,
+    lat: u64,
+    bandwidth: u64,
+    stall_mode: StallMode,
+    sharing: Option<LocalSharing>,
+}
+
+/// Simulates the queue dynamics of one round: the tasks of sparse columns
+/// `pattern` (ascending, the non-zero `b(j, k)` positions) streamed in CSC
+/// order against the given frozen-or-current row map. Timing only — the
+/// numerics are handled by the column-accumulate kernel.
+fn simulate_round(
+    a: &Csc,
+    pattern: &[u32],
+    pe_of_row: &[u32],
+    p: SimParams,
+    mut row_tasks: Option<&mut [u32]>,
+) -> SimRound {
+    let n_pes = p.n_pes;
+    let lat = p.lat;
+    let bandwidth = p.bandwidth;
+
+    // Per-PE scratch.
+    let mut pending = vec![0u32; n_pes];
+    let mut last_seen = vec![0u64; n_pes];
+    let mut issue_until = vec![0u64; n_pes];
+    let mut busy = vec![0u64; n_pes];
+    // Owner-attributed load: the distributor counts every task against
+    // the PE that *owns* its row, before any local-sharing diversion.
+    // The PESM profiles on this view — under sharing, executed-load
+    // plateaus across a hot neighbourhood and would hide which PE's
+    // rows cause the overload (see DESIGN.md, remote switching).
+    let mut owner_busy = vec![0u64; n_pes];
+    let mut max_q = vec![0u32; n_pes];
+    // Per-row scratch.
+    let mut ready = vec![0u64; a.rows()];
+
+    let a_row_idx = a.row_idx();
+    let a_col_ptr = a.col_ptr();
+
+    let mut t: u64 = 0;
+    let mut max_completion: u64 = 0;
+    let mut raw_stalls: u64 = 0;
+
+    for &j in pattern {
+        let j = j as usize;
+        for idx in a_col_ptr[j]..a_col_ptr[j + 1] {
+            let row = a_row_idx[idx] as usize;
+            let arrival = t / bandwidth;
+            let owner = pe_of_row[row];
+            owner_busy[owner as usize] += 1;
+            let dest = match p.sharing {
+                Some(sharing) => sharing.choose(owner, |q| {
+                    let pe = q as usize;
+                    (pending[pe] as u64).saturating_sub(arrival - last_seen[pe]) as usize
+                }),
+                None => owner,
+            } as usize;
+
+            // Commit the enqueue: lazily drain, then push.
+            let drained = arrival - last_seen[dest];
+            pending[dest] = (pending[dest] as u64).saturating_sub(drained) as u32 + 1;
+            last_seen[dest] = arrival;
+            if pending[dest] > max_q[dest] {
+                max_q[dest] = pending[dest];
+            }
+
+            // Serial issue with RaW scoreboard. In `Park` mode the
+            // stall buffer + accumulator forwarding hide the hazard
+            // (the PE keeps issuing; we only count the event) — the
+            // paper's design, without which a Nell hub row would
+            // serialize at T cycles per non-zero and dwarf the
+            // reported latencies. `Block` models the naive
+            // head-of-line serialization as an ablation.
+            let start = (issue_until[dest] + 1).max(arrival);
+            let r_ready = ready[row];
+            let (issue_cycle, complete) = if r_ready > start {
+                raw_stalls += r_ready - start;
+                match p.stall_mode {
+                    StallMode::Block => (r_ready, r_ready + lat),
+                    StallMode::Park => (start, start + lat),
+                }
+            } else {
+                (start, start + lat)
+            };
+            issue_until[dest] = issue_cycle;
+            ready[row] = complete;
+            busy[dest] += 1;
+            if complete > max_completion {
+                max_completion = complete;
+            }
+
+            if let Some(rt) = row_tasks.as_deref_mut() {
+                rt[row] += 1;
+            }
+            t += 1;
+        }
+    }
+
+    SimRound {
+        timing: RoundTiming {
+            cycles: max_completion,
+            tasks: t,
+            max_pe_busy: busy.iter().copied().max().unwrap_or(0),
+            min_pe_busy: busy.iter().copied().min().unwrap_or(0),
+            max_queue_depth: max_q.iter().copied().max().unwrap_or(0) as usize,
+            raw_stalls,
+            queue_high_water: max_q,
+        },
+        owner_busy,
+    }
+}
+
+/// Collects the non-zero pattern (ascending positions) and values of
+/// `b[:, k]` — one "round" worth of dense-operand input.
+fn column_pattern(b: &DenseMatrix, k: usize) -> (Vec<u32>, Vec<f32>) {
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for j in 0..b.rows() {
+        let bjk = b.get(j, k);
+        if bjk != 0.0 {
+            cols.push(j as u32);
+            vals.push(bjk);
+        }
+    }
+    (cols, vals)
+}
+
+/// Accumulates one round's numerics into `acc` (same f32 addition order as
+/// the pre-replay per-task loop: `j` ascending, CSC index order).
+fn accumulate_round(a: &Csc, cols: &[u32], vals: &[f32], acc: &mut [f32]) {
+    for (&j, &bjk) in cols.iter().zip(vals) {
+        csc_axpy_column(a, j as usize, bjk, acc);
+    }
+}
+
+/// Writes the non-zero entries of a column accumulator into `c[:, k]`,
+/// resetting the accumulator for reuse.
+fn emit_column(c: &mut DenseMatrix, k: usize, acc: &mut [f32]) {
+    for (row, v) in acc.iter_mut().enumerate() {
+        if *v != 0.0 {
+            c.set(row, k, *v);
+            *v = 0.0;
+        }
+    }
+}
+
+/// FNV-1a over the operand's sparsity structure (shape, column pointers,
+/// row indices). Values are excluded on purpose: timing never depends on
+/// them, only the numerics — which are recomputed every round.
+fn structure_fingerprint(a: &Csc) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(a.rows() as u64);
+    mix(a.cols() as u64);
+    mix(a.nnz() as u64);
+    for &p in a.col_ptr() {
+        mix(p as u64);
+    }
+    for &i in a.row_idx() {
+        mix(i as u64);
+    }
+    h
+}
 
 /// Fast queue-dynamics engine (see module docs).
 ///
@@ -54,6 +301,14 @@ pub struct FastEngine {
     sharing: Option<LocalSharing>,
     map: Option<RowMap>,
     tuner: Option<AutoTuner>,
+    /// Worker-thread override for frozen-phase rounds (None = use
+    /// [`exec::num_threads`], i.e. `AWB_THREADS` / available parallelism).
+    threads: Option<usize>,
+    replay_enabled: bool,
+    replay: HashMap<Vec<u32>, RoundTiming>,
+    replay_fingerprint: Option<u64>,
+    replay_hits: u64,
+    replay_misses: u64,
 }
 
 impl FastEngine {
@@ -65,6 +320,12 @@ impl FastEngine {
             sharing: None,
             map: None,
             tuner: None,
+            threads: None,
+            replay_enabled: true,
+            replay: HashMap::new(),
+            replay_fingerprint: None,
+            replay_hits: 0,
+            replay_misses: 0,
         }
     }
 
@@ -81,6 +342,36 @@ impl FastEngine {
     /// Whether the auto-tuner is still adjusting.
     pub fn tuning_active(&self) -> bool {
         self.tuner.as_ref().is_some_and(|t| t.is_active())
+    }
+
+    /// Overrides the worker-thread count for frozen-phase rounds
+    /// (`None` restores the [`exec::num_threads`] default). Results are
+    /// bit-identical at any setting; this only affects wall-clock.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads;
+    }
+
+    /// Enables or disables the steady-state replay cache (enabled by
+    /// default). Disabling forces every round through the full queue
+    /// simulation — the straight-simulated reference the replay path is
+    /// tested against.
+    pub fn set_replay_enabled(&mut self, on: bool) {
+        self.replay_enabled = on;
+        if !on {
+            self.replay.clear();
+            self.replay_fingerprint = None;
+        }
+    }
+
+    /// Steady-state rounds whose timing was served from the replay cache.
+    pub fn replay_hits(&self) -> u64 {
+        self.replay_hits
+    }
+
+    /// Steady-state rounds whose non-zero pattern had to be simulated and
+    /// was then memoized.
+    pub fn replay_misses(&self) -> u64 {
+        self.replay_misses
     }
 
     fn ensure_state(&mut self, n_rows: usize) -> Result<(), AccelError> {
@@ -107,7 +398,6 @@ impl SpmmEngine for FastEngine {
         self.ensure_state(a.rows())?;
         let n_pes = self.config.n_pes;
         let n_rows = a.rows();
-        let lat = self.config.mac_latency as u64;
         // The distributor's delivery rate: full speed when SPMMeM holds
         // the operand on chip, bandwidth-bound when it must stream.
         let bandwidth = self
@@ -116,166 +406,158 @@ impl SpmmEngine for FastEngine {
             .delivery_rate_limit(a.nnz(), n_pes)
             .max(1) as u64;
         let on_chip = self.config.memory.fits_on_chip(a.nnz());
-        let stall_mode = self.config.stall_mode;
-        let sharing = self.sharing.expect("initialized in ensure_state");
-        let use_sharing = self.config.local_hop > 0;
-        let map = self.map.as_mut().expect("initialized in ensure_state");
-        let tuner = self.tuner.as_mut().expect("initialized in ensure_state");
-
-        // Per-PE scratch.
-        let mut pending = vec![0u32; n_pes];
-        let mut last_seen = vec![0u64; n_pes];
-        let mut issue_until = vec![0u64; n_pes];
-        let mut busy = vec![0u64; n_pes];
-        // Owner-attributed load: the distributor counts every task against
-        // the PE that *owns* its row, before any local-sharing diversion.
-        // The PESM profiles on this view — under sharing, executed-load
-        // plateaus across a hot neighbourhood and would hide which PE's
-        // rows cause the overload (see DESIGN.md, remote switching).
-        let mut owner_busy = vec![0u64; n_pes];
-        let mut max_q = vec![0u32; n_pes];
-        // Per-row scratch.
-        let mut ready = vec![0u64; n_rows];
-        let mut col_acc = vec![0f32; n_rows];
-        let mut row_tasks: Vec<u32> = Vec::new();
+        let fill_cycles = self.config.memory.fill_cycles(a.nnz());
+        let params = SimParams {
+            n_pes,
+            lat: self.config.mac_latency as u64,
+            bandwidth,
+            stall_mode: self.config.stall_mode,
+            sharing: (self.config.local_hop > 0)
+                .then_some(self.sharing.expect("initialized in ensure_state")),
+        };
+        let threads = self.threads.unwrap_or_else(exec::num_threads);
+        // Replayed timings describe *this* operand's structure under the
+        // frozen map; a structurally different operand invalidates them.
+        let use_replay = self.replay_enabled && on_chip;
+        if use_replay {
+            let fingerprint = structure_fingerprint(a);
+            if self.replay_fingerprint != Some(fingerprint) {
+                self.replay.clear();
+                self.replay_fingerprint = Some(fingerprint);
+            }
+        }
 
         let mut c = DenseMatrix::zeros(n_rows, b.cols());
         let mut rounds = Vec::with_capacity(b.cols());
         let mut queue_high_water = vec![0u32; n_pes];
+        let mut col_acc = vec![0f32; n_rows];
 
-        let a_row_idx = a.row_idx();
-        let a_values = a.values();
-        let a_col_ptr = a.col_ptr();
+        // ---- Phase 1: tuning rounds, inherently sequential ----
+        // Each round observes the map the previous round's switching
+        // produced, so these cannot replay or run concurrently.
+        let map = self.map.as_mut().expect("initialized in ensure_state");
+        let tuner = self.tuner.as_mut().expect("initialized in ensure_state");
+        let mut k = 0usize;
+        while k < b.cols() && tuner.is_active() {
+            let (cols, vals) = column_pattern(b, k);
+            let mut row_tasks = tuner.needs_row_counts().then(|| vec![0u32; n_rows]);
+            let sim = simulate_round(a, &cols, map.pe_of_row(), params, row_tasks.as_deref_mut());
+            accumulate_round(a, &cols, &vals, &mut col_acc);
+            emit_column(&mut c, k, &mut col_acc);
 
-        for k in 0..b.cols() {
-            pending.fill(0);
-            last_seen.fill(0);
-            issue_until.fill(0);
-            busy.fill(0);
-            owner_busy.fill(0);
-            max_q.fill(0);
-            ready.fill(0);
-            let tuning = tuner.is_active();
-            let collect_rows = tuner.needs_row_counts();
-            if collect_rows {
-                row_tasks.clear();
-                row_tasks.resize(n_rows, 0);
-            }
-            let pe_of_row = map.pe_of_row();
-
-            let mut t: u64 = 0;
-            let mut max_completion: u64 = 0;
-            let mut raw_stalls: u64 = 0;
-
-            for j in 0..a.cols() {
-                let bjk = b.get(j, k);
-                if bjk == 0.0 {
-                    continue;
-                }
-                for idx in a_col_ptr[j]..a_col_ptr[j + 1] {
-                    let row = a_row_idx[idx] as usize;
-                    let product = a_values[idx] * bjk;
-                    let arrival = t / bandwidth;
-                    let owner = pe_of_row[row];
-                    owner_busy[owner as usize] += 1;
-                    let dest = if use_sharing {
-                        sharing.choose(owner, |p| {
-                            let pe = p as usize;
-                            (pending[pe] as u64).saturating_sub(arrival - last_seen[pe]) as usize
-                        })
-                    } else {
-                        owner
-                    } as usize;
-
-                    // Commit the enqueue: lazily drain, then push.
-                    let drained = arrival - last_seen[dest];
-                    pending[dest] = (pending[dest] as u64).saturating_sub(drained) as u32 + 1;
-                    last_seen[dest] = arrival;
-                    if pending[dest] > max_q[dest] {
-                        max_q[dest] = pending[dest];
-                    }
-
-                    // Serial issue with RaW scoreboard. In `Park` mode the
-                    // stall buffer + accumulator forwarding hide the hazard
-                    // (the PE keeps issuing; we only count the event) — the
-                    // paper's design, without which a Nell hub row would
-                    // serialize at T cycles per non-zero and dwarf the
-                    // reported latencies. `Block` models the naive
-                    // head-of-line serialization as an ablation.
-                    let start = (issue_until[dest] + 1).max(arrival);
-                    let r_ready = ready[row];
-                    let (issue_cycle, complete) = if r_ready > start {
-                        raw_stalls += r_ready - start;
-                        match stall_mode {
-                            StallMode::Block => (r_ready, r_ready + lat),
-                            StallMode::Park => (start, start + lat),
-                        }
-                    } else {
-                        (start, start + lat)
-                    };
-                    issue_until[dest] = issue_cycle;
-                    ready[row] = complete;
-                    busy[dest] += 1;
-                    if complete > max_completion {
-                        max_completion = complete;
-                    }
-
-                    col_acc[row] += product;
-                    if collect_rows {
-                        row_tasks[row] += 1;
-                    }
-                    t += 1;
-                }
-            }
-
-            // Barrier: the round ends when the last MAC drains. An
-            // on-chip operand pays its SPMMeM fill once (charged to round
-            // 0); an off-chip operand's per-round streaming cost is
+            // An on-chip operand pays its SPMMeM fill once (charged to
+            // round 0); an off-chip operand's per-round streaming cost is
             // already captured by the throttled arrival rate.
-            //
-            // TQ sizing (the area model's input) uses steady-state rounds
-            // only: the converged configuration is what production TQs are
-            // provisioned for, exactly as the paper's §5.2 depth figures
-            // (tuning-phase overflow is absorbed by backpressure).
-            if !tuning {
-                for (hw, &q) in queue_high_water.iter_mut().zip(&max_q) {
-                    *hw = (*hw).max(q);
-                }
-            }
-            let fill = if k == 0 && on_chip && t > 0 {
-                self.config.memory.fill_cycles(a.nnz())
+            let fill = if k == 0 && on_chip && sim.timing.tasks > 0 {
+                fill_cycles
             } else {
                 0
             };
-            let cycles = max_completion + fill;
-            let max_pe_busy = busy.iter().copied().max().unwrap_or(0);
-            let min_pe_busy = busy.iter().copied().min().unwrap_or(0);
-            rounds.push(RoundStats {
-                cycles,
-                tasks: t,
-                busy_cycles: t,
-                max_pe_busy,
-                min_pe_busy,
-                max_queue_depth: max_q.iter().copied().max().unwrap_or(0) as usize,
-                raw_stalls,
-                tuning_active: tuning,
-            });
+            let cycles = sim.timing.cycles + fill;
+            rounds.push(sim.timing.to_stats(cycles, true));
 
             // Auto-tuning between rounds.
-            if tuning && t > 0 {
-                let util = t as f64 / (cycles.max(1) as f64 * n_pes as f64);
+            if sim.timing.tasks > 0 {
+                let util = sim.timing.tasks as f64 / (cycles.max(1) as f64 * n_pes as f64);
                 let profile = RoundProfile {
-                    per_pe_busy: owner_busy.clone(),
-                    per_row_tasks: collect_rows.then(|| row_tasks.clone()),
+                    per_pe_busy: sim.owner_busy,
+                    per_row_tasks: row_tasks,
                 };
                 tuner.observe_round(&profile, util, map);
             }
+            k += 1;
+        }
 
-            // Emit column k and reset the accumulators.
-            for (row, acc) in col_acc.iter_mut().enumerate() {
-                if *acc != 0.0 {
-                    c.set(row, k, *acc);
-                    *acc = 0.0;
+        // ---- Phase 2: steady-state rounds under the frozen map ----
+        // Rounds are now independent (each owns output column k); timing
+        // is a pure function of the round's non-zero pattern, so repeated
+        // patterns replay from cache and fresh work runs on `exec`.
+        if k < b.cols() {
+            let start = k;
+            let pe_of_row = self
+                .map
+                .as_ref()
+                .expect("initialized in ensure_state")
+                .pe_of_row()
+                .to_vec();
+            let patterns: Vec<(Vec<u32>, Vec<f32>)> =
+                (start..b.cols()).map(|k| column_pattern(b, k)).collect();
+
+            let timings: Vec<RoundTiming> = if use_replay {
+                // First occurrence of an uncached pattern is a miss and is
+                // simulated (in parallel across distinct patterns); every
+                // other round replays.
+                let mut to_sim: Vec<Vec<u32>> = Vec::new();
+                let mut queued: HashSet<&[u32]> = HashSet::new();
+                for (cols, _) in &patterns {
+                    if !self.replay.contains_key(cols.as_slice()) && queued.insert(cols.as_slice())
+                    {
+                        to_sim.push(cols.clone());
+                    }
+                }
+                self.replay_misses += to_sim.len() as u64;
+                self.replay_hits += (patterns.len() - to_sim.len()) as u64;
+                let fresh = exec::par_map_threads(threads, &to_sim, |cols| {
+                    simulate_round(a, cols, &pe_of_row, params, None).timing
+                });
+                // Promote fresh timings into the persistent cache up to
+                // the size cap; past it (an all-distinct-patterns operand
+                // that would never replay anyway) they only serve this
+                // run, bounding the engine's memory.
+                let mut overflow: HashMap<Vec<u32>, RoundTiming> = HashMap::new();
+                for (key, timing) in to_sim.into_iter().zip(fresh) {
+                    if self.replay.len() < REPLAY_CACHE_CAP {
+                        self.replay.insert(key, timing);
+                    } else {
+                        overflow.insert(key, timing);
+                    }
+                }
+                patterns
+                    .iter()
+                    .map(|(cols, _)| {
+                        self.replay
+                            .get(cols.as_slice())
+                            .or_else(|| overflow.get(cols.as_slice()))
+                            .expect("simulated above")
+                            .clone()
+                    })
+                    .collect()
+            } else {
+                exec::par_map_threads(threads, &patterns, |(cols, _)| {
+                    simulate_round(a, cols, &pe_of_row, params, None).timing
+                })
+            };
+
+            // Numerics: each round owns its output column of C.
+            let columns = exec::par_map_threads(threads, &patterns, |(cols, vals)| {
+                let mut acc = vec![0f32; n_rows];
+                accumulate_round(a, cols, vals, &mut acc);
+                acc
+            });
+
+            for (i, timing) in timings.iter().enumerate() {
+                let k = start + i;
+                // TQ sizing (the area model's input) uses steady-state
+                // rounds only: the converged configuration is what
+                // production TQs are provisioned for, exactly as the
+                // paper's §5.2 depth figures (tuning-phase overflow is
+                // absorbed by backpressure).
+                for (hw, &q) in queue_high_water.iter_mut().zip(&timing.queue_high_water) {
+                    *hw = (*hw).max(q);
+                }
+                let fill = if k == 0 && on_chip && timing.tasks > 0 {
+                    fill_cycles
+                } else {
+                    0
+                };
+                rounds.push(timing.to_stats(timing.cycles + fill, false));
+            }
+            for (i, column) in columns.into_iter().enumerate() {
+                let k = start + i;
+                for (row, v) in column.into_iter().enumerate() {
+                    if v != 0.0 {
+                        c.set(row, k, v);
+                    }
                 }
             }
         }
@@ -324,6 +606,13 @@ mod tests {
         DenseMatrix::from_vec(rows, cols, data).unwrap()
     }
 
+    /// A dense operand with no zero entries: every column shares the
+    /// all-columns pattern, the replay cache's best case.
+    fn dense_full(rows: usize, cols: usize) -> DenseMatrix {
+        let data: Vec<f32> = (0..rows * cols).map(|i| ((i % 7) as f32) + 1.0).collect();
+        DenseMatrix::from_vec(rows, cols, data).unwrap()
+    }
+
     #[test]
     fn functional_output_matches_reference() {
         let a = skewed(64, 40);
@@ -352,8 +641,102 @@ mod tests {
         let out = engine.run(&a, &b, "t").unwrap();
         assert_eq!(
             out.stats.total_tasks(),
-            spmm::csc_times_dense_macs(&a, &b) as u64
+            spmm::csc_times_dense_macs(&a, &b).unwrap() as u64
         );
+    }
+
+    #[test]
+    fn steady_state_rounds_hit_replay_cache() {
+        let a = skewed(64, 40);
+        let b = dense_full(64, 8);
+        // Baseline has no remote switching: the tuner is born frozen and
+        // every round is steady-state. All 8 columns share one pattern.
+        let mut engine = FastEngine::new(Design::Baseline.apply(config(8)));
+        engine.run(&a, &b, "t").unwrap();
+        assert_eq!(engine.replay_misses(), 1);
+        assert_eq!(engine.replay_hits(), 7);
+        // The cache persists across runs on the same operand (the paper's
+        // layer-2 reuse): the second run replays every round.
+        engine.run(&a, &b, "t").unwrap();
+        assert_eq!(engine.replay_misses(), 1);
+        assert_eq!(engine.replay_hits(), 15);
+    }
+
+    #[test]
+    fn tuning_rounds_never_touch_replay_cache() {
+        let a = skewed(128, 100);
+        let b = dense_full(128, 16);
+        let mut engine = FastEngine::new(Design::LocalPlusRemote { hop: 1 }.apply(config(16)));
+        let out = engine.run(&a, &b, "t").unwrap();
+        let tuning = out.stats.tuning_rounds() as u64;
+        assert!(tuning > 0);
+        assert_eq!(
+            engine.replay_hits() + engine.replay_misses(),
+            out.stats.rounds.len() as u64 - tuning,
+            "exactly the steady-state rounds consult the cache"
+        );
+    }
+
+    #[test]
+    fn replay_matches_straight_simulation_bitwise() {
+        let a = skewed(96, 60);
+        let b = dense(96, 10);
+        for design in [
+            Design::Baseline,
+            Design::LocalSharing { hop: 2 },
+            Design::LocalPlusRemote { hop: 2 },
+        ] {
+            let cfg = design.apply(config(8));
+            let mut cached = FastEngine::new(cfg.clone());
+            let mut straight = FastEngine::new(cfg);
+            straight.set_replay_enabled(false);
+            let o1 = cached.run(&a, &b, "t").unwrap();
+            let o2 = straight.run(&a, &b, "t").unwrap();
+            assert_eq!(o1.stats, o2.stats, "{design:?}");
+            assert_eq!(o1.c, o2.c, "{design:?}");
+            assert_eq!(straight.replay_hits() + straight.replay_misses(), 0);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let a = skewed(96, 60);
+        let b = dense(96, 12);
+        let cfg = Design::LocalPlusRemote { hop: 2 }.apply(config(8));
+        let mut seq = FastEngine::new(cfg.clone());
+        seq.set_threads(Some(1));
+        let mut par = FastEngine::new(cfg);
+        par.set_threads(Some(4));
+        let o1 = seq.run(&a, &b, "t").unwrap();
+        let o2 = par.run(&a, &b, "t").unwrap();
+        assert_eq!(o1.stats, o2.stats);
+        assert_eq!(o1.c, o2.c);
+    }
+
+    #[test]
+    fn off_chip_operand_bypasses_replay_cache() {
+        let a = skewed(64, 40);
+        let b = dense_full(64, 8);
+        let mut cfg = Design::Baseline.apply(config(8));
+        cfg.memory = awb_hw::MemoryModel {
+            on_chip_bytes: 16,
+            off_chip_bytes_per_cycle: 16.0,
+        };
+        let mut engine = FastEngine::new(cfg);
+        engine.run(&a, &b, "t").unwrap();
+        assert_eq!(engine.replay_hits() + engine.replay_misses(), 0);
+    }
+
+    #[test]
+    fn replay_cache_invalidated_by_different_operand_structure() {
+        let b = dense_full(64, 4);
+        let mut engine = FastEngine::new(Design::Baseline.apply(config(8)));
+        engine.run(&skewed(64, 40), &b, "t").unwrap();
+        assert_eq!(engine.replay_misses(), 1);
+        // Same shape, different sparsity structure: the memoized timing
+        // would be wrong, so the fingerprint guard must force a re-miss.
+        engine.run(&skewed(64, 20), &b, "t").unwrap();
+        assert_eq!(engine.replay_misses(), 2);
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod config;
 mod energy;
 mod engine;
 mod error;
+pub mod exec;
 mod gcn_run;
 mod mapping;
 pub mod pipeline;
@@ -58,6 +59,7 @@ pub use config::{AccelConfig, AccelConfigBuilder, Design, MappingKind, SltPolicy
 pub use energy::{cycles_to_ms, EnergyModel};
 pub use engine::{DetailedEngine, FastEngine, SpmmEngine, SpmmOutcome, TdqMode};
 pub use error::AccelError;
+pub use exec::{num_threads, par_map, par_map_threads};
 pub use gcn_run::{verify_against_reference, GcnRunOutcome, GcnRunner};
 pub use mapping::RowMap;
 pub use rebalance::{AutoTuner, LocalSharing, RemoteSwitcher, RoundProfile, SwitchPlan};

@@ -4,6 +4,7 @@
 use crate::area::AreaModel;
 use crate::config::{AccelConfig, Design};
 use crate::error::AccelError;
+use crate::exec;
 use crate::gcn_run::GcnRunner;
 use awb_gcn_model::GcnInput;
 
@@ -95,44 +96,57 @@ impl DesignSweep {
         self
     }
 
-    /// Runs every grid point, in PE-major order.
+    /// Runs every grid point, returning results in PE-major order.
+    ///
+    /// Grid points are independent simulations, so they execute on the
+    /// [`exec`] substrate (`AWB_THREADS` workers); the result vector is
+    /// identical to a sequential sweep — see the `exec` determinism
+    /// contract.
     ///
     /// # Errors
     ///
     /// Propagates configuration/shape errors from the runner (e.g. an
     /// invalid PE count).
     pub fn run(&self, input: &GcnInput) -> Result<Vec<SweepPoint>, AccelError> {
-        let mut points = Vec::with_capacity(self.designs.len() * self.pe_counts.len());
-        for &n_pes in &self.pe_counts {
-            for &design in &self.designs {
-                let mut config = design.apply(self.base.clone());
-                config.n_pes = n_pes;
-                if config.local_hop >= n_pes {
-                    return Err(AccelError::InvalidConfig(format!(
-                        "hop {} does not fit {} PEs",
-                        config.local_hop, n_pes
-                    )));
-                }
-                let outcome = GcnRunner::new(config.clone()).run(input)?;
-                let tq_slots = outcome
-                    .stats
-                    .spmms()
-                    .iter()
-                    .map(|s| s.total_queue_slots())
-                    .max()
-                    .unwrap_or(0);
-                points.push(SweepPoint {
-                    design,
-                    n_pes,
-                    cycles: outcome.stats.total_cycles(),
-                    utilization: outcome.stats.avg_utilization(),
-                    max_queue_depth: outcome.stats.max_queue_depth(),
-                    tq_slots,
-                    clb_total: self.area_model.breakdown(&config, tq_slots).total(),
-                });
+        let grid: Vec<(usize, Design)> = self
+            .pe_counts
+            .iter()
+            .flat_map(|&n_pes| self.designs.iter().map(move |&design| (n_pes, design)))
+            .collect();
+        // Configuration errors are detectable up front; reject them before
+        // burning simulation time on the rest of the grid.
+        for &(n_pes, design) in &grid {
+            let config = design.apply(self.base.clone());
+            if config.local_hop >= n_pes {
+                return Err(AccelError::InvalidConfig(format!(
+                    "hop {} does not fit {} PEs",
+                    config.local_hop, n_pes
+                )));
             }
         }
-        Ok(points)
+        exec::par_map(&grid, |&(n_pes, design)| {
+            let mut config = design.apply(self.base.clone());
+            config.n_pes = n_pes;
+            let outcome = GcnRunner::new(config.clone()).run(input)?;
+            let tq_slots = outcome
+                .stats
+                .spmms()
+                .iter()
+                .map(|s| s.total_queue_slots())
+                .max()
+                .unwrap_or(0);
+            Ok(SweepPoint {
+                design,
+                n_pes,
+                cycles: outcome.stats.total_cycles(),
+                utilization: outcome.stats.avg_utilization(),
+                max_queue_depth: outcome.stats.max_queue_depth(),
+                tq_slots,
+                clb_total: self.area_model.breakdown(&config, tq_slots).total(),
+            })
+        })
+        .into_iter()
+        .collect()
     }
 }
 

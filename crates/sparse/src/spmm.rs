@@ -5,15 +5,42 @@
 //! accelerator's own column-streaming schedule (paper Eq. 4 / Fig. 5):
 //! for each output column `k`, each non-zero `b(j,k)` of the dense operand
 //! is broadcast to the whole column `j` of the sparse operand.
+//!
+//! The production kernels accumulate through flat slices
+//! ([`csc_axpy_column`], `DenseMatrix::row_mut`) instead of per-element
+//! `get`/`set`; the original per-element implementations are retained as
+//! `*_naive` for the `kernels` criterion group and for exact-equivalence
+//! tests (both orderings perform the identical sequence of f32 additions
+//! per output element, so results are bit-identical).
 
 use crate::{Csc, Csr, DenseMatrix, Result, SparseError};
+
+/// Accumulates `scale × A[:, j]` into the column accumulator `acc`
+/// (`acc[i] += a(i, j) * scale` for every non-zero of column `j`).
+///
+/// This is the tight inner kernel of the accelerator's column-streaming
+/// schedule: one call per non-zero `b(j, k)` of the dense operand, walking
+/// the CSC column slice in index order. The simulator's replay path uses it
+/// for the numerics of rounds whose queue dynamics are served from cache.
+///
+/// # Panics
+///
+/// Panics if `j >= a.cols()` or `acc.len() < a.rows()`.
+#[inline]
+pub fn csc_axpy_column(a: &Csc, j: usize, scale: f32, acc: &mut [f32]) {
+    let lo = a.col_ptr()[j];
+    let hi = a.col_ptr()[j + 1];
+    for (&i, &v) in a.row_idx()[lo..hi].iter().zip(&a.values()[lo..hi]) {
+        acc[i as usize] += v * scale;
+    }
+}
 
 /// `C = A * B` with `A` sparse (CSC) and `B` dense — the accelerator's
 /// native schedule.
 ///
 /// For each column `k` of `B` ("round" in the paper's terminology) and each
 /// non-zero `b(j, k)`, the entire sparse column `A[:, j]` is scaled and
-/// accumulated into `C[:, k]`.
+/// accumulated into `C[:, k]` via [`csc_axpy_column`].
 ///
 /// # Errors
 ///
@@ -39,6 +66,40 @@ pub fn csc_times_dense(a: &Csc, b: &DenseMatrix) -> Result<DenseMatrix> {
             left: a.shape(),
             right: b.shape(),
             op: "csc_times_dense",
+        });
+    }
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    let mut acc = vec![0f32; a.rows()];
+    for k in 0..b.cols() {
+        for j in 0..a.cols() {
+            let bjk = b.get(j, k);
+            if bjk == 0.0 {
+                continue;
+            }
+            csc_axpy_column(a, j, bjk, &mut acc);
+        }
+        for (i, v) in acc.iter_mut().enumerate() {
+            if *v != 0.0 {
+                c.set(i, k, *v);
+                *v = 0.0;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Per-element reference implementation of [`csc_times_dense`], retained
+/// for the `kernels` criterion group and bit-exactness tests.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn csc_times_dense_naive(a: &Csc, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "csc_times_dense_naive",
         });
     }
     let mut c = DenseMatrix::zeros(a.rows(), b.cols());
@@ -87,7 +148,8 @@ pub fn csr_times_dense(a: &Csr, b: &DenseMatrix) -> Result<DenseMatrix> {
 /// `C = A * B` with both operands sparse (SpGEMM), returning a dense result.
 ///
 /// GCN layers never need a sparse output (the result of `A × (XW)` is
-/// near-dense — paper §3.3), so the dense result format is deliberate.
+/// near-dense — paper §3.3), so the dense result format is deliberate. The
+/// inner accumulation runs over the borrowed output-row slice.
 ///
 /// # Errors
 ///
@@ -98,6 +160,32 @@ pub fn csr_times_csr(a: &Csr, b: &Csr) -> Result<DenseMatrix> {
             left: a.shape(),
             right: b.shape(),
             op: "csr_times_csr",
+        });
+    }
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        let c_row = c.row_mut(i);
+        for (j, aij) in a.row_entries(i) {
+            for (k, bjk) in b.row_entries(j) {
+                c_row[k] += aij * bjk;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Per-element reference implementation of [`csr_times_csr`], retained for
+/// the `kernels` criterion group and bit-exactness tests.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn csr_times_csr_naive(a: &Csr, b: &Csr) -> Result<DenseMatrix> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "csr_times_csr_naive",
         });
     }
     let mut c = DenseMatrix::zeros(a.rows(), b.cols());
@@ -118,16 +206,29 @@ pub fn csr_times_csr(a: &Csr, b: &Csr) -> Result<DenseMatrix> {
 ///
 /// This equals the number of *tasks* the accelerator dispatches to its PE
 /// array for the same SPMM.
-pub fn csc_times_dense_macs(a: &Csc, b: &DenseMatrix) -> usize {
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()` —
+/// the same validation as the kernels, so the count can never silently
+/// disagree with [`csc_times_dense`] on mismatched shapes.
+pub fn csc_times_dense_macs(a: &Csc, b: &DenseMatrix) -> Result<usize> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "csc_times_dense_macs",
+        });
+    }
     let mut macs = 0usize;
     for k in 0..b.cols() {
-        for j in 0..a.cols().min(b.rows()) {
+        for j in 0..a.cols() {
             if b.get(j, k) != 0.0 {
                 macs += a.col_nnz(j);
             }
         }
     }
-    macs
+    Ok(macs)
 }
 
 #[cfg(test)]
@@ -175,13 +276,45 @@ mod tests {
     }
 
     #[test]
+    fn slice_kernels_bit_identical_to_naive() {
+        // Same per-element f32 addition order -> exact equality, not approx.
+        let mut a = Coo::new(24, 24);
+        for s in 0..96u32 {
+            let r = (s.wrapping_mul(17) % 24) as usize;
+            let c = (s.wrapping_mul(29) % 24) as usize;
+            a.push(r, c, (s % 11) as f32 * 0.25 - 1.0).unwrap();
+        }
+        let b_data: Vec<f32> = (0..24 * 5).map(|i| ((i % 7) as f32) - 3.0).collect();
+        let b = DenseMatrix::from_vec(24, 5, b_data).unwrap();
+        assert_eq!(
+            csc_times_dense(&a.to_csc(), &b).unwrap(),
+            csc_times_dense_naive(&a.to_csc(), &b).unwrap()
+        );
+        assert_eq!(
+            csr_times_csr(&a.to_csr(), &a.to_csr()).unwrap(),
+            csr_times_csr_naive(&a.to_csr(), &a.to_csr()).unwrap()
+        );
+    }
+
+    #[test]
+    fn axpy_column_accumulates_in_index_order() {
+        let a = sparse_3x3().to_csc();
+        let mut acc = vec![1.0f32; 3];
+        csc_axpy_column(&a, 1, 2.0, &mut acc);
+        // Column 1 holds (0, 2.0) and (1, -1.0).
+        assert_eq!(acc, vec![5.0, -1.0, 1.0]);
+    }
+
+    #[test]
     fn dimension_mismatch_detected() {
         let a = sparse_3x3();
         let bad = DenseMatrix::zeros(2, 2);
         assert!(csc_times_dense(&a.to_csc(), &bad).is_err());
+        assert!(csc_times_dense_naive(&a.to_csc(), &bad).is_err());
         assert!(csr_times_dense(&a.to_csr(), &bad).is_err());
         let bad_sparse = Coo::new(2, 2).to_csr();
         assert!(csr_times_csr(&a.to_csr(), &bad_sparse).is_err());
+        assert!(csr_times_csr_naive(&a.to_csr(), &bad_sparse).is_err());
     }
 
     #[test]
@@ -189,11 +322,26 @@ mod tests {
         let a = sparse_3x3().to_csc();
         let b = dense_3x2(); // fully dense: every b(j,k) hits col j of A
                              // per column of B: nnz(A) = 4 MACs; 2 columns -> 8.
-        assert_eq!(csc_times_dense_macs(&a, &b), 8);
+        assert_eq!(csc_times_dense_macs(&a, &b).unwrap(), 8);
         // Zero out one b entry -> subtract nnz of that column of A.
         let mut b2 = b.clone();
         b2.set(1, 0, 0.0); // column 1 of A has 2 nnz
-        assert_eq!(csc_times_dense_macs(&a, &b2), 6);
+        assert_eq!(csc_times_dense_macs(&a, &b2).unwrap(), 6);
+    }
+
+    #[test]
+    fn mac_count_rejects_mismatched_shapes() {
+        // The old implementation silently truncated to
+        // a.cols().min(b.rows()) and returned a wrong-but-plausible count.
+        let a = sparse_3x3().to_csc();
+        let bad = DenseMatrix::from_rows(&[&[1.0], &[1.0]]).unwrap(); // 2 rows != 3 cols
+        assert!(matches!(
+            csc_times_dense_macs(&a, &bad),
+            Err(SparseError::DimensionMismatch {
+                op: "csc_times_dense_macs",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -202,5 +350,6 @@ mod tests {
         let b = DenseMatrix::zeros(0, 0);
         let c = csc_times_dense(&a, &b).unwrap();
         assert_eq!(c.shape(), (0, 0));
+        assert_eq!(csc_times_dense_macs(&a, &b).unwrap(), 0);
     }
 }

@@ -72,7 +72,7 @@ fn task_counts_identical() {
     assert_eq!(fast.stats.total_tasks(), detailed.stats.total_tasks());
     assert_eq!(
         fast.stats.total_tasks(),
-        spmm::csc_times_dense_macs(&a, &b) as u64
+        spmm::csc_times_dense_macs(&a, &b).unwrap() as u64
     );
 }
 

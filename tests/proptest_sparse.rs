@@ -135,7 +135,7 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(spmm::csc_times_dense_macs(&a, &b), manual);
+        prop_assert_eq!(spmm::csc_times_dense_macs(&a, &b).unwrap(), manual);
     }
 
     #[test]
