@@ -52,15 +52,19 @@ fn main() {
         let cpu_ms = cpu_model.latency_ms(&workload);
         let gpu_ms = gpu_model.latency_ms(&workload);
 
-        // Simulated FPGA designs (scaled dataset + scaled PEs).
+        // Simulated FPGA designs (scaled dataset + scaled PEs). The
+        // EIE-like point differs from the baseline only in fields the
+        // fast engine never reads (TDQ-1 queues-per-PE) and in the clock
+        // used for ms conversion, so the two design points *share one
+        // simulation*: run the baseline once and re-clock it for the EIE
+        // row — plan/design-point reuse within a dataset.
         let base_run = bench.run_design(Design::Baseline);
-        let eie_run = bench.run_design(Design::EieLike);
         let awb_run = bench.run_design(bench.design_d());
         // Latency extrapolation to full scale: cycle counts are already
         // scale-comparable; only rescale when running scaled instances so
         // the absolute ms can be read against the paper.
         let base_ms = cycles_to_ms(base_run.stats.total_cycles(), 275.0);
-        let eie_ms = cycles_to_ms(eie_run.stats.total_cycles(), 285.0);
+        let eie_ms = cycles_to_ms(base_run.stats.total_cycles(), 285.0);
         let awb_ms = cycles_to_ms(awb_run.stats.total_cycles(), 275.0);
         (cpu_ms, gpu_ms, eie_ms, base_ms, awb_ms)
     });

@@ -17,7 +17,7 @@
 //!   stay comparable to the paper's 1024-PE setup (ideal cycles =
 //!   tasks/PEs is scale-invariant).
 
-use awb_accel::{AccelConfig, Design, GcnRunOutcome, GcnRunner};
+use awb_accel::{AccelConfig, Design, GcnPlan, GcnRunOutcome, GcnRunner};
 use awb_datasets::{DatasetSpec, GeneratedDataset, PaperDataset};
 use awb_gcn_model::GcnInput;
 
@@ -121,6 +121,18 @@ impl BenchDataset {
     pub fn run_design(&self, design: Design) -> GcnRunOutcome {
         let config = design.apply(self.base_config());
         GcnRunner::new(config).run(&self.input).expect("simulation")
+    }
+
+    /// Runs one design point's warm-up and extracts its reusable
+    /// [`GcnPlan`] alongside the (cold, tuning-inclusive) outcome. The
+    /// warm-up outcome is bit-identical to [`run_design`]; the plan lets
+    /// grid code that needs more runs on the same (dataset, design) point
+    /// execute them without re-paying tuning.
+    pub fn prepare_design(&self, design: Design) -> (GcnPlan, GcnRunOutcome) {
+        let config = design.apply(self.base_config());
+        GcnRunner::new(config)
+            .prepare(&self.input)
+            .expect("simulation")
     }
 }
 

@@ -165,6 +165,15 @@ pub struct AccelConfig {
     /// SPMMeM/DCM buffering model: bounds the distributor's delivery rate
     /// when the sparse operand does not fit on chip (paper Fig. 7).
     pub memory: MemoryModel,
+    /// Host worker-thread override for the simulator's parallel phases
+    /// (`None` = the [`exec`](crate::exec) default, i.e. `AWB_THREADS` /
+    /// available parallelism). Purely a host wall-clock knob: results are
+    /// bit-identical at any setting.
+    pub threads: Option<usize>,
+    /// Whether the steady-state replay cache is enabled (default `true`).
+    /// Disabling forces every round through the full queue simulation —
+    /// the straight-simulated reference the replay path is tested against.
+    pub replay: bool,
 }
 
 impl AccelConfig {
@@ -221,6 +230,8 @@ impl Default for AccelConfigBuilder {
                 pipeline_spmms: true,
                 max_tuning_rounds: 32,
                 memory: MemoryModel::unbounded(),
+                threads: None,
+                replay: true,
             },
         }
     }
@@ -311,6 +322,19 @@ impl AccelConfigBuilder {
         self
     }
 
+    /// Sets the host worker-thread override (`None` restores the
+    /// [`exec`](crate::exec) default; `Some(n)` requires `n >= 1`).
+    pub fn threads(&mut self, threads: Option<usize>) -> &mut Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Enables or disables the steady-state replay cache.
+    pub fn replay(&mut self, on: bool) -> &mut Self {
+        self.config.replay = on;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -361,6 +385,11 @@ impl AccelConfigBuilder {
                 "max_tuning_rounds must be >= 1".into(),
             ));
         }
+        if c.threads == Some(0) {
+            return Err(AccelError::InvalidConfig(
+                "threads must be >= 1 when set (use None for the default)".into(),
+            ));
+        }
         Ok(c.clone())
     }
 }
@@ -377,6 +406,8 @@ mod tests {
         assert_eq!(c.mac_latency, 6);
         assert_eq!(c.tracking_window, 2);
         assert_eq!(c.mapping, MappingKind::Block);
+        assert_eq!(c.threads, None);
+        assert!(c.replay);
     }
 
     #[test]
@@ -398,6 +429,9 @@ mod tests {
         assert!(AccelConfig::builder().freq_mhz(0.0).build().is_err());
         assert!(AccelConfig::builder().freq_mhz(f64::NAN).build().is_err());
         assert!(AccelConfig::builder().max_tuning_rounds(0).build().is_err());
+        assert!(AccelConfig::builder().threads(Some(0)).build().is_err());
+        assert!(AccelConfig::builder().threads(Some(4)).build().is_ok());
+        assert!(AccelConfig::builder().threads(None).build().is_ok());
         assert!(AccelConfig::builder()
             .n_pes(4)
             .local_hop(4)

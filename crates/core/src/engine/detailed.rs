@@ -9,7 +9,8 @@
 //! engine — not for full-dataset sweeps.
 
 use crate::config::{AccelConfig, StallMode};
-use crate::engine::{check_shapes, SpmmEngine, SpmmOutcome};
+use crate::engine::steady::ReplayCache;
+use crate::engine::{check_shapes, PlanOutcome, SpmmEngine, SpmmOutcome, TunedPlan};
 use crate::error::AccelError;
 use crate::mapping::RowMap;
 use crate::rebalance::autotuner::AutoTuner;
@@ -404,6 +405,34 @@ impl SpmmEngine for DetailedEngine {
         })
     }
 
+    /// Warm-up on the cycle-stepped model, extracting the frozen map into
+    /// a [`TunedPlan`]. The plan's replay cache starts empty (the detailed
+    /// engine does not memoize) and is warmed by the sessions themselves;
+    /// note that sessions always execute with the fast queue-dynamics
+    /// model — only the *map* carries over the detailed engine's tuning.
+    fn plan(
+        &mut self,
+        a: &Csc,
+        warmup: &DenseMatrix,
+        label: &str,
+    ) -> Result<PlanOutcome, AccelError> {
+        let outcome = self.run(a, warmup, label)?;
+        let tuner = self.tuner.as_mut().expect("initialized by run");
+        tuner.freeze();
+        Ok(PlanOutcome {
+            plan: TunedPlan::from_frozen(
+                self.config.clone(),
+                self.map.clone().expect("initialized by run"),
+                a,
+                tuner.rounds_done(),
+                tuner.total_switches(),
+                self.config.replay,
+                ReplayCache::new(),
+            ),
+            warmup: outcome,
+        })
+    }
+
     fn config(&self) -> &AccelConfig {
         &self.config
     }
@@ -546,6 +575,27 @@ mod tests {
             base.total_cycles(),
             shared.total_cycles()
         );
+    }
+
+    #[test]
+    fn plan_extracts_detailed_tuned_map() {
+        let a = random_sparse(64, 4);
+        let b = dense(64, 6);
+        let mut engine = DetailedEngine::new(
+            Design::LocalPlusRemote { hop: 2 }.apply(config(8)),
+            TdqMode::Tdq2,
+        );
+        let planned = engine.plan(&a, &b, "warmup").unwrap();
+        // The plan carries the detailed engine's frozen map and executes
+        // requests with correct numerics on the fast session model.
+        assert_eq!(
+            planned.plan.row_map().pe_of_row(),
+            engine.row_map().unwrap().pe_of_row()
+        );
+        let out = planned.plan.session().run(&a, &b, "req").unwrap();
+        let expect = spmm::csc_times_dense(&a, &b).unwrap();
+        assert!(out.c.approx_eq(&expect, 1e-4));
+        assert_eq!(out.stats.tuning_rounds(), 0);
     }
 
     #[test]

@@ -21,16 +21,16 @@
 //! Once the auto-tuner freezes the row map, a round's queue dynamics are a
 //! pure function of *which* dense-operand entries `b(j, k)` are non-zero —
 //! the values only scale the products, never the schedule. The engine
-//! therefore memoizes the per-round timing ([`RoundStats`] fields plus the
-//! per-PE queue high-water marks) keyed by the round's non-zero column
-//! pattern, and replays it for every later round with the same pattern
-//! (in GCN layers most rounds are fully dense in `b[:, k]` and share one
-//! pattern — including across the layer-2 reuse of `A`'s engine). Replayed
-//! rounds' numerics run through the tight
-//! [`csc_axpy_column`](awb_sparse::spmm::csc_axpy_column) slice kernel.
-//! The cache is only consulted when the operand is resident on chip and is
-//! guarded by a fingerprint of the operand's sparsity structure; see
-//! `DESIGN.md` §5 for the validity argument.
+//! therefore memoizes the per-round timing keyed by the round's non-zero
+//! column pattern and replays it for every later round with the same
+//! pattern (in GCN layers most rounds are fully dense in `b[:, k]` and
+//! share one pattern — including across the layer-2 reuse of `A`'s
+//! engine). The round model, the replay cache, and the frozen-map executor
+//! live in the crate-internal `steady` module, shared verbatim with
+//! [`SpmmSession`](super::SpmmSession) — the per-request executor over a
+//! [`TunedPlan`](super::TunedPlan) extracted from this engine by
+//! [`SpmmEngine::plan`]. See `DESIGN.md` §5/§6 for the validity argument
+//! and the plan/execute split.
 //!
 //! Frozen-phase rounds are independent (each owns one output column of
 //! `C`), so they execute on the [`exec`](crate::exec) substrate —
@@ -40,239 +40,20 @@
 //! The model is validated against [`DetailedEngine`](super::DetailedEngine)
 //! in the crate's integration tests.
 
-use crate::config::{AccelConfig, StallMode};
-use crate::engine::{check_shapes, SpmmEngine, SpmmOutcome};
+use crate::config::AccelConfig;
+use crate::engine::steady::{
+    accumulate_round, column_pattern, emit_column, execute_steady, structure_fingerprint,
+    MemoryParams, ReplayCache, SimParams, SteadySpan,
+};
+use crate::engine::{check_shapes, PlanOutcome, SpmmEngine, SpmmOutcome, TunedPlan};
 use crate::error::AccelError;
 use crate::exec;
 use crate::mapping::RowMap;
 use crate::rebalance::autotuner::AutoTuner;
 use crate::rebalance::local::LocalSharing;
 use crate::rebalance::remote::RoundProfile;
-use crate::stats::{RoundStats, SpmmStats};
-use awb_sparse::spmm::csc_axpy_column;
+use crate::stats::SpmmStats;
 use awb_sparse::{Csc, DenseMatrix};
-use std::collections::{HashMap, HashSet};
-
-/// Replay-cache entry cap. GCN workloads need a handful of patterns (most
-/// rounds are fully dense in `b[:, k]`); an operand producing thousands of
-/// distinct patterns gains nothing from memoization, so past the cap fresh
-/// timings are kept for the current run only instead of growing the
-/// engine's footprint without bound.
-const REPLAY_CACHE_CAP: usize = 1024;
-
-/// Memoized timing of one simulated round (cycles exclude the round-0
-/// SPMMeM fill, which is charged at use).
-#[derive(Debug, Clone, PartialEq)]
-struct RoundTiming {
-    /// Barrier cycles (`max_completion`), without any fill charge.
-    cycles: u64,
-    /// MAC tasks executed.
-    tasks: u64,
-    /// Busiest PE's executed-task count.
-    max_pe_busy: u64,
-    /// Least-busy PE's executed-task count.
-    min_pe_busy: u64,
-    /// Largest queue occupancy on any PE.
-    max_queue_depth: usize,
-    /// RaW-hazard stall cycles.
-    raw_stalls: u64,
-    /// Per-PE queue high-water marks (merged into the SPMM-level vector
-    /// for steady-state rounds).
-    queue_high_water: Vec<u32>,
-}
-
-impl RoundTiming {
-    fn to_stats(&self, cycles: u64, tuning_active: bool) -> RoundStats {
-        RoundStats {
-            cycles,
-            tasks: self.tasks,
-            busy_cycles: self.tasks,
-            max_pe_busy: self.max_pe_busy,
-            min_pe_busy: self.min_pe_busy,
-            max_queue_depth: self.max_queue_depth,
-            raw_stalls: self.raw_stalls,
-            tuning_active,
-        }
-    }
-}
-
-/// Result of simulating one round: the memoizable timing plus the
-/// owner-attributed load profile the auto-tuner consumes.
-struct SimRound {
-    timing: RoundTiming,
-    owner_busy: Vec<u64>,
-}
-
-/// Fixed per-run simulation parameters shared by every round.
-#[derive(Clone, Copy)]
-struct SimParams {
-    n_pes: usize,
-    lat: u64,
-    bandwidth: u64,
-    stall_mode: StallMode,
-    sharing: Option<LocalSharing>,
-}
-
-/// Simulates the queue dynamics of one round: the tasks of sparse columns
-/// `pattern` (ascending, the non-zero `b(j, k)` positions) streamed in CSC
-/// order against the given frozen-or-current row map. Timing only — the
-/// numerics are handled by the column-accumulate kernel.
-fn simulate_round(
-    a: &Csc,
-    pattern: &[u32],
-    pe_of_row: &[u32],
-    p: SimParams,
-    mut row_tasks: Option<&mut [u32]>,
-) -> SimRound {
-    let n_pes = p.n_pes;
-    let lat = p.lat;
-    let bandwidth = p.bandwidth;
-
-    // Per-PE scratch.
-    let mut pending = vec![0u32; n_pes];
-    let mut last_seen = vec![0u64; n_pes];
-    let mut issue_until = vec![0u64; n_pes];
-    let mut busy = vec![0u64; n_pes];
-    // Owner-attributed load: the distributor counts every task against
-    // the PE that *owns* its row, before any local-sharing diversion.
-    // The PESM profiles on this view — under sharing, executed-load
-    // plateaus across a hot neighbourhood and would hide which PE's
-    // rows cause the overload (see DESIGN.md, remote switching).
-    let mut owner_busy = vec![0u64; n_pes];
-    let mut max_q = vec![0u32; n_pes];
-    // Per-row scratch.
-    let mut ready = vec![0u64; a.rows()];
-
-    let a_row_idx = a.row_idx();
-    let a_col_ptr = a.col_ptr();
-
-    let mut t: u64 = 0;
-    let mut max_completion: u64 = 0;
-    let mut raw_stalls: u64 = 0;
-
-    for &j in pattern {
-        let j = j as usize;
-        for idx in a_col_ptr[j]..a_col_ptr[j + 1] {
-            let row = a_row_idx[idx] as usize;
-            let arrival = t / bandwidth;
-            let owner = pe_of_row[row];
-            owner_busy[owner as usize] += 1;
-            let dest = match p.sharing {
-                Some(sharing) => sharing.choose(owner, |q| {
-                    let pe = q as usize;
-                    (pending[pe] as u64).saturating_sub(arrival - last_seen[pe]) as usize
-                }),
-                None => owner,
-            } as usize;
-
-            // Commit the enqueue: lazily drain, then push.
-            let drained = arrival - last_seen[dest];
-            pending[dest] = (pending[dest] as u64).saturating_sub(drained) as u32 + 1;
-            last_seen[dest] = arrival;
-            if pending[dest] > max_q[dest] {
-                max_q[dest] = pending[dest];
-            }
-
-            // Serial issue with RaW scoreboard. In `Park` mode the
-            // stall buffer + accumulator forwarding hide the hazard
-            // (the PE keeps issuing; we only count the event) — the
-            // paper's design, without which a Nell hub row would
-            // serialize at T cycles per non-zero and dwarf the
-            // reported latencies. `Block` models the naive
-            // head-of-line serialization as an ablation.
-            let start = (issue_until[dest] + 1).max(arrival);
-            let r_ready = ready[row];
-            let (issue_cycle, complete) = if r_ready > start {
-                raw_stalls += r_ready - start;
-                match p.stall_mode {
-                    StallMode::Block => (r_ready, r_ready + lat),
-                    StallMode::Park => (start, start + lat),
-                }
-            } else {
-                (start, start + lat)
-            };
-            issue_until[dest] = issue_cycle;
-            ready[row] = complete;
-            busy[dest] += 1;
-            if complete > max_completion {
-                max_completion = complete;
-            }
-
-            if let Some(rt) = row_tasks.as_deref_mut() {
-                rt[row] += 1;
-            }
-            t += 1;
-        }
-    }
-
-    SimRound {
-        timing: RoundTiming {
-            cycles: max_completion,
-            tasks: t,
-            max_pe_busy: busy.iter().copied().max().unwrap_or(0),
-            min_pe_busy: busy.iter().copied().min().unwrap_or(0),
-            max_queue_depth: max_q.iter().copied().max().unwrap_or(0) as usize,
-            raw_stalls,
-            queue_high_water: max_q,
-        },
-        owner_busy,
-    }
-}
-
-/// Collects the non-zero pattern (ascending positions) and values of
-/// `b[:, k]` — one "round" worth of dense-operand input.
-fn column_pattern(b: &DenseMatrix, k: usize) -> (Vec<u32>, Vec<f32>) {
-    let mut cols = Vec::new();
-    let mut vals = Vec::new();
-    for j in 0..b.rows() {
-        let bjk = b.get(j, k);
-        if bjk != 0.0 {
-            cols.push(j as u32);
-            vals.push(bjk);
-        }
-    }
-    (cols, vals)
-}
-
-/// Accumulates one round's numerics into `acc` (same f32 addition order as
-/// the pre-replay per-task loop: `j` ascending, CSC index order).
-fn accumulate_round(a: &Csc, cols: &[u32], vals: &[f32], acc: &mut [f32]) {
-    for (&j, &bjk) in cols.iter().zip(vals) {
-        csc_axpy_column(a, j as usize, bjk, acc);
-    }
-}
-
-/// Writes the non-zero entries of a column accumulator into `c[:, k]`,
-/// resetting the accumulator for reuse.
-fn emit_column(c: &mut DenseMatrix, k: usize, acc: &mut [f32]) {
-    for (row, v) in acc.iter_mut().enumerate() {
-        if *v != 0.0 {
-            c.set(row, k, *v);
-            *v = 0.0;
-        }
-    }
-}
-
-/// FNV-1a over the operand's sparsity structure (shape, column pointers,
-/// row indices). Values are excluded on purpose: timing never depends on
-/// them, only the numerics — which are recomputed every round.
-fn structure_fingerprint(a: &Csc) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |x: u64| {
-        h ^= x;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    mix(a.rows() as u64);
-    mix(a.cols() as u64);
-    mix(a.nnz() as u64);
-    for &p in a.col_ptr() {
-        mix(p as u64);
-    }
-    for &i in a.row_idx() {
-        mix(i as u64);
-    }
-    h
-}
 
 /// Fast queue-dynamics engine (see module docs).
 ///
@@ -305,27 +86,24 @@ pub struct FastEngine {
     /// [`exec::num_threads`], i.e. `AWB_THREADS` / available parallelism).
     threads: Option<usize>,
     replay_enabled: bool,
-    replay: HashMap<Vec<u32>, RoundTiming>,
-    replay_fingerprint: Option<u64>,
-    replay_hits: u64,
-    replay_misses: u64,
+    cache: ReplayCache,
 }
 
 impl FastEngine {
     /// Creates an engine; the row map is initialized lazily from the first
-    /// sparse operand.
+    /// sparse operand. The thread override and replay switch are seeded
+    /// from [`AccelConfig::threads`]/[`AccelConfig::replay`] (adjustable
+    /// later via [`set_threads`](FastEngine::set_threads)/
+    /// [`set_replay_enabled`](FastEngine::set_replay_enabled)).
     pub fn new(config: AccelConfig) -> Self {
         FastEngine {
+            threads: config.threads,
+            replay_enabled: config.replay,
             config,
             sharing: None,
             map: None,
             tuner: None,
-            threads: None,
-            replay_enabled: true,
-            replay: HashMap::new(),
-            replay_fingerprint: None,
-            replay_hits: 0,
-            replay_misses: 0,
+            cache: ReplayCache::new(),
         }
     }
 
@@ -358,20 +136,44 @@ impl FastEngine {
     pub fn set_replay_enabled(&mut self, on: bool) {
         self.replay_enabled = on;
         if !on {
-            self.replay.clear();
-            self.replay_fingerprint = None;
+            self.cache.clear();
         }
     }
 
     /// Steady-state rounds whose timing was served from the replay cache.
     pub fn replay_hits(&self) -> u64 {
-        self.replay_hits
+        self.cache.hits()
     }
 
     /// Steady-state rounds whose non-zero pattern had to be simulated and
     /// was then memoized.
     pub fn replay_misses(&self) -> u64 {
-        self.replay_misses
+        self.cache.misses()
+    }
+
+    /// Extracts a [`TunedPlan`] from the engine's current state: the row
+    /// map as converged so far (force-frozen if the tuner is still
+    /// active — the paper freezes at the round budget regardless) plus a
+    /// snapshot of the replay cache for `a`. The engine stays usable and
+    /// itself runs frozen afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] when the engine was tuned for
+    /// a different row count than `a`.
+    pub fn freeze_plan(&mut self, a: &Csc) -> Result<TunedPlan, AccelError> {
+        self.ensure_state(a.rows())?;
+        let tuner = self.tuner.as_mut().expect("initialized in ensure_state");
+        tuner.freeze();
+        Ok(TunedPlan::from_frozen(
+            self.config.clone(),
+            self.map.clone().expect("initialized in ensure_state"),
+            a,
+            tuner.rounds_done(),
+            tuner.total_switches(),
+            self.replay_enabled,
+            self.cache.clone(),
+        ))
     }
 
     fn ensure_state(&mut self, n_rows: usize) -> Result<(), AccelError> {
@@ -400,17 +202,11 @@ impl SpmmEngine for FastEngine {
         let n_rows = a.rows();
         // The distributor's delivery rate: full speed when SPMMeM holds
         // the operand on chip, bandwidth-bound when it must stream.
-        let bandwidth = self
-            .config
-            .memory
-            .delivery_rate_limit(a.nnz(), n_pes)
-            .max(1) as u64;
-        let on_chip = self.config.memory.fits_on_chip(a.nnz());
-        let fill_cycles = self.config.memory.fill_cycles(a.nnz());
+        let memory = MemoryParams::for_operand(&self.config, a.nnz());
         let params = SimParams {
             n_pes,
             lat: self.config.mac_latency as u64,
-            bandwidth,
+            bandwidth: memory.bandwidth,
             stall_mode: self.config.stall_mode,
             sharing: (self.config.local_hop > 0)
                 .then_some(self.sharing.expect("initialized in ensure_state")),
@@ -418,13 +214,9 @@ impl SpmmEngine for FastEngine {
         let threads = self.threads.unwrap_or_else(exec::num_threads);
         // Replayed timings describe *this* operand's structure under the
         // frozen map; a structurally different operand invalidates them.
-        let use_replay = self.replay_enabled && on_chip;
+        let use_replay = self.replay_enabled && memory.on_chip;
         if use_replay {
-            let fingerprint = structure_fingerprint(a);
-            if self.replay_fingerprint != Some(fingerprint) {
-                self.replay.clear();
-                self.replay_fingerprint = Some(fingerprint);
-            }
+            self.cache.guard(structure_fingerprint(a));
         }
 
         let mut c = DenseMatrix::zeros(n_rows, b.cols());
@@ -441,15 +233,21 @@ impl SpmmEngine for FastEngine {
         while k < b.cols() && tuner.is_active() {
             let (cols, vals) = column_pattern(b, k);
             let mut row_tasks = tuner.needs_row_counts().then(|| vec![0u32; n_rows]);
-            let sim = simulate_round(a, &cols, map.pe_of_row(), params, row_tasks.as_deref_mut());
+            let sim = crate::engine::steady::simulate_round(
+                a,
+                &cols,
+                map.pe_of_row(),
+                params,
+                row_tasks.as_deref_mut(),
+            );
             accumulate_round(a, &cols, &vals, &mut col_acc);
             emit_column(&mut c, k, &mut col_acc);
 
             // An on-chip operand pays its SPMMeM fill once (charged to
             // round 0); an off-chip operand's per-round streaming cost is
             // already captured by the throttled arrival rate.
-            let fill = if k == 0 && on_chip && sim.timing.tasks > 0 {
-                fill_cycles
+            let fill = if k == 0 && memory.on_chip && sim.timing.tasks > 0 {
+                memory.fill_cycles
             } else {
                 0
             };
@@ -472,95 +270,25 @@ impl SpmmEngine for FastEngine {
         // Rounds are now independent (each owns output column k); timing
         // is a pure function of the round's non-zero pattern, so repeated
         // patterns replay from cache and fresh work runs on `exec`.
-        if k < b.cols() {
-            let start = k;
-            let pe_of_row = self
-                .map
-                .as_ref()
-                .expect("initialized in ensure_state")
-                .pe_of_row()
-                .to_vec();
-            let patterns: Vec<(Vec<u32>, Vec<f32>)> =
-                (start..b.cols()).map(|k| column_pattern(b, k)).collect();
-
-            let timings: Vec<RoundTiming> = if use_replay {
-                // First occurrence of an uncached pattern is a miss and is
-                // simulated (in parallel across distinct patterns); every
-                // other round replays.
-                let mut to_sim: Vec<Vec<u32>> = Vec::new();
-                let mut queued: HashSet<&[u32]> = HashSet::new();
-                for (cols, _) in &patterns {
-                    if !self.replay.contains_key(cols.as_slice()) && queued.insert(cols.as_slice())
-                    {
-                        to_sim.push(cols.clone());
-                    }
-                }
-                self.replay_misses += to_sim.len() as u64;
-                self.replay_hits += (patterns.len() - to_sim.len()) as u64;
-                let fresh = exec::par_map_threads(threads, &to_sim, |cols| {
-                    simulate_round(a, cols, &pe_of_row, params, None).timing
-                });
-                // Promote fresh timings into the persistent cache up to
-                // the size cap; past it (an all-distinct-patterns operand
-                // that would never replay anyway) they only serve this
-                // run, bounding the engine's memory.
-                let mut overflow: HashMap<Vec<u32>, RoundTiming> = HashMap::new();
-                for (key, timing) in to_sim.into_iter().zip(fresh) {
-                    if self.replay.len() < REPLAY_CACHE_CAP {
-                        self.replay.insert(key, timing);
-                    } else {
-                        overflow.insert(key, timing);
-                    }
-                }
-                patterns
-                    .iter()
-                    .map(|(cols, _)| {
-                        self.replay
-                            .get(cols.as_slice())
-                            .or_else(|| overflow.get(cols.as_slice()))
-                            .expect("simulated above")
-                            .clone()
-                    })
-                    .collect()
-            } else {
-                exec::par_map_threads(threads, &patterns, |(cols, _)| {
-                    simulate_round(a, cols, &pe_of_row, params, None).timing
-                })
-            };
-
-            // Numerics: each round owns its output column of C.
-            let columns = exec::par_map_threads(threads, &patterns, |(cols, vals)| {
-                let mut acc = vec![0f32; n_rows];
-                accumulate_round(a, cols, vals, &mut acc);
-                acc
-            });
-
-            for (i, timing) in timings.iter().enumerate() {
-                let k = start + i;
-                // TQ sizing (the area model's input) uses steady-state
-                // rounds only: the converged configuration is what
-                // production TQs are provisioned for, exactly as the
-                // paper's §5.2 depth figures (tuning-phase overflow is
-                // absorbed by backpressure).
-                for (hw, &q) in queue_high_water.iter_mut().zip(&timing.queue_high_water) {
-                    *hw = (*hw).max(q);
-                }
-                let fill = if k == 0 && on_chip && timing.tasks > 0 {
-                    fill_cycles
-                } else {
-                    0
-                };
-                rounds.push(timing.to_stats(timing.cycles + fill, false));
-            }
-            for (i, column) in columns.into_iter().enumerate() {
-                let k = start + i;
-                for (row, v) in column.into_iter().enumerate() {
-                    if v != 0.0 {
-                        c.set(row, k, v);
-                    }
-                }
-            }
-        }
+        execute_steady(
+            SteadySpan {
+                a,
+                b,
+                start: k,
+                pe_of_row: self
+                    .map
+                    .as_ref()
+                    .expect("initialized in ensure_state")
+                    .pe_of_row(),
+                params,
+                memory,
+                threads,
+                cache: use_replay.then_some(&self.cache),
+            },
+            &mut c,
+            &mut rounds,
+            &mut queue_high_water,
+        );
 
         Ok(SpmmOutcome {
             c,
@@ -573,6 +301,19 @@ impl SpmmEngine for FastEngine {
         })
     }
 
+    fn plan(
+        &mut self,
+        a: &Csc,
+        warmup: &DenseMatrix,
+        label: &str,
+    ) -> Result<PlanOutcome, AccelError> {
+        let outcome = self.run(a, warmup, label)?;
+        Ok(PlanOutcome {
+            plan: self.freeze_plan(a)?,
+            warmup: outcome,
+        })
+    }
+
     fn config(&self) -> &AccelConfig {
         &self.config
     }
@@ -581,7 +322,7 @@ impl SpmmEngine for FastEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{Design, MappingKind, SltPolicy};
+    use crate::config::{Design, MappingKind, SltPolicy, StallMode};
     use awb_sparse::{spmm, Coo};
 
     fn config(n_pes: usize) -> AccelConfig {
@@ -711,6 +452,25 @@ mod tests {
         let o2 = par.run(&a, &b, "t").unwrap();
         assert_eq!(o1.stats, o2.stats);
         assert_eq!(o1.c, o2.c);
+    }
+
+    #[test]
+    fn config_seeds_threads_and_replay() {
+        // Satellite plumbing: `AccelConfig.threads`/`replay` reach the
+        // engine without per-engine setter calls.
+        let a = skewed(64, 40);
+        let b = dense_full(64, 8);
+        let mut cfg = Design::Baseline.apply(config(8));
+        cfg.replay = false;
+        cfg.threads = Some(1);
+        let mut engine = FastEngine::new(cfg.clone());
+        engine.run(&a, &b, "t").unwrap();
+        assert_eq!(engine.replay_hits() + engine.replay_misses(), 0);
+        cfg.replay = true;
+        let mut engine = FastEngine::new(cfg);
+        engine.run(&a, &b, "t").unwrap();
+        assert_eq!(engine.replay_misses(), 1);
+        assert_eq!(engine.replay_hits(), 7);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! SPMM engine implementations.
+//! SPMM engine implementations and the plan/execute split.
 //!
 //! Two engines simulate the same architecture at different fidelity/cost
 //! points:
@@ -14,12 +14,22 @@
 //! hardware *tuned to one sparse matrix* — running it again (e.g. `A` in
 //! layer 2 after layer 1) reuses the auto-tuned row map, exactly the reuse
 //! the paper's auto-tuning paradigm is about.
+//!
+//! That reuse is made first-class by the plan/execute split: a warm-up
+//! phase ([`SpmmEngine::plan`]) produces a frozen, shareable [`TunedPlan`]
+//! (row map + replay cache + structure fingerprint + config), and cheap
+//! per-request [`SpmmSession`]s execute against `&TunedPlan` — so N
+//! requests on one graph pay tuning once and hit the replay cache from
+//! request 1. See `DESIGN.md` §6.
 
 mod detailed;
 mod fast;
+mod plan;
+pub(crate) mod steady;
 
 pub use detailed::{DetailedEngine, TdqMode};
 pub use fast::FastEngine;
+pub use plan::{SpmmSession, TunedPlan};
 
 use crate::config::AccelConfig;
 use crate::error::AccelError;
@@ -36,6 +46,16 @@ pub struct SpmmOutcome {
     pub stats: SpmmStats,
 }
 
+/// Result of a warm-up/plan phase: the reusable [`TunedPlan`] plus the
+/// warm-up SPMM's own outcome (so the tuning pass is never wasted work).
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// The frozen, shareable per-operand plan.
+    pub plan: TunedPlan,
+    /// The warm-up SPMM's result (tuning-phase rounds included).
+    pub warmup: SpmmOutcome,
+}
+
 /// A simulated SPMM engine (one per sparse operand).
 pub trait SpmmEngine {
     /// Simulates `C = A × B`, streaming `B` column by column.
@@ -46,6 +66,23 @@ pub trait SpmmEngine {
     /// [`AccelError::InvalidConfig`] when the engine is reused with a
     /// sparse operand of a different row count than it was tuned for.
     fn run(&mut self, a: &Csc, b: &DenseMatrix, label: &str) -> Result<SpmmOutcome, AccelError>;
+
+    /// Runs `warmup` as an auto-tuning warm-up on `a` and extracts a
+    /// frozen [`TunedPlan`] for `a`: the converged row map (force-frozen
+    /// if the warm-up had too few columns for natural convergence), the
+    /// replay cache as warmed, the structure fingerprint, and the
+    /// configuration. Subsequent requests execute via
+    /// [`TunedPlan::session`] without re-paying tuning.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](SpmmEngine::run).
+    fn plan(
+        &mut self,
+        a: &Csc,
+        warmup: &DenseMatrix,
+        label: &str,
+    ) -> Result<PlanOutcome, AccelError>;
 
     /// The engine's configuration.
     fn config(&self) -> &AccelConfig;

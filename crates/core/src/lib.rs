@@ -18,6 +18,14 @@
 //! inter-SPMM pipelining (paper Fig. 8). [`AreaModel`] and [`EnergyModel`]
 //! reproduce the paper's CLB and inferences-per-kJ reporting.
 //!
+//! The converged tuning state is a first-class artifact: a warm-up phase
+//! ([`SpmmEngine::plan`] / [`GcnRunner::prepare`]) produces a frozen,
+//! shareable [`TunedPlan`]/[`GcnPlan`], and per-request
+//! [`SpmmSession`]s/[`GcnPlan::run`] execute against it without re-paying
+//! tuning. [`GcnService`] builds the batched multi-request serving
+//! front-end on top (prepared per-graph plans, deterministic batch
+//! fan-out, per-request latency + aggregate throughput reporting).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -50,6 +58,7 @@ mod gcn_run;
 mod mapping;
 pub mod pipeline;
 mod rebalance;
+mod serve;
 mod stats;
 mod sweep;
 pub mod trace;
@@ -57,11 +66,15 @@ pub mod trace;
 pub use area::{AreaBreakdown, AreaModel};
 pub use config::{AccelConfig, AccelConfigBuilder, Design, MappingKind, SltPolicy, StallMode};
 pub use energy::{cycles_to_ms, EnergyModel};
-pub use engine::{DetailedEngine, FastEngine, SpmmEngine, SpmmOutcome, TdqMode};
+pub use engine::{
+    DetailedEngine, FastEngine, PlanOutcome, SpmmEngine, SpmmOutcome, SpmmSession, TdqMode,
+    TunedPlan,
+};
 pub use error::AccelError;
 pub use exec::{num_threads, par_map, par_map_threads};
-pub use gcn_run::{verify_against_reference, GcnRunOutcome, GcnRunner};
+pub use gcn_run::{verify_against_reference, GcnPlan, GcnRunOutcome, GcnRunner};
 pub use mapping::RowMap;
 pub use rebalance::{AutoTuner, LocalSharing, RemoteSwitcher, RoundProfile, SwitchPlan};
+pub use serve::{BatchOutcome, GcnService, PrepareReport, RequestOutcome};
 pub use stats::{LayerStats, RoundStats, RunStats, SpmmStats};
 pub use sweep::{sweep_csv, DesignSweep, SweepPoint};

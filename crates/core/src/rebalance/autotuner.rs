@@ -79,6 +79,14 @@ impl AutoTuner {
         !self.frozen
     }
 
+    /// Forces the configuration frozen immediately (used when extracting a
+    /// [`TunedPlan`](crate::TunedPlan) from a warm-up whose dense operand
+    /// had too few columns for natural convergence — the paper freezes at
+    /// the round budget regardless).
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
     /// True when the engine must collect per-row task counts for the
     /// Shuffling LUT.
     pub fn needs_row_counts(&self) -> bool {

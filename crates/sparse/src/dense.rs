@@ -252,6 +252,45 @@ impl DenseMatrix {
         Ok(out)
     }
 
+    /// Converts directly to CSC, keeping entries with `|v| > 0.0`.
+    ///
+    /// Equivalent to `self.to_coo(0.0).to_csc()` — same entries, same
+    /// within-column row order — without materializing the intermediate
+    /// triplet list. This is the inter-layer hot path of the GCN runner
+    /// (the ReLU-dense hidden features re-enter the accelerator as the
+    /// next layer's sparse operand).
+    pub fn to_csc(&self) -> crate::Csc {
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        for r in 0..self.rows {
+            for (c, v) in self.row(r).iter().enumerate() {
+                if v.abs() > 0.0 {
+                    col_ptr[c + 1] += 1;
+                }
+            }
+        }
+        for c in 0..self.cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        let nnz = col_ptr[self.cols];
+        let mut row_idx = vec![0u32; nnz];
+        let mut values = vec![0.0f32; nnz];
+        let mut cursor = col_ptr.clone();
+        // Row-major scan fills each column bucket in ascending row order —
+        // exactly the sorted order `Coo::to_csc`'s compression produces.
+        for r in 0..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                if v.abs() > 0.0 {
+                    let p = cursor[c];
+                    row_idx[p] = r as u32;
+                    values[p] = v;
+                    cursor[c] += 1;
+                }
+            }
+        }
+        crate::Csc::from_parts(self.rows, self.cols, col_ptr, row_idx, values)
+            .expect("column scan produces a well-formed CSC")
+    }
+
     /// Converts to COO, keeping entries with `|v| > threshold`.
     pub fn to_coo(&self, threshold: f32) -> Coo {
         let mut coo = Coo::new(self.rows, self.cols);
@@ -405,6 +444,31 @@ mod tests {
         let b = DenseMatrix::from_rows(&[&[0.5, 2.25]]).unwrap();
         assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
         assert!(a.max_abs_diff(&DenseMatrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn to_csc_matches_coo_roundtrip() {
+        // Pin the direct conversion against the two-step reference on a
+        // matrix with zeros, negatives, duplicate values, and empty
+        // rows/columns.
+        let m = DenseMatrix::from_rows(&[
+            &[0.0, 0.5, -1.0, 0.0],
+            &[0.0, 0.0, 0.0, 0.0],
+            &[1.5, 0.5, 0.0, -2.25],
+            &[-0.0, 3.0, 4.0, 0.0],
+        ])
+        .unwrap();
+        let direct = m.to_csc();
+        let via_coo = m.to_coo(0.0).to_csc();
+        assert_eq!(direct, via_coo);
+        assert_eq!(direct.nnz(), 7);
+        assert_eq!(direct.to_dense().nnz(), m.nnz());
+        // Degenerate shapes.
+        let empty = DenseMatrix::zeros(3, 0);
+        assert_eq!(empty.to_csc(), empty.to_coo(0.0).to_csc());
+        let zeros = DenseMatrix::zeros(2, 5);
+        assert_eq!(zeros.to_csc(), zeros.to_coo(0.0).to_csc());
+        assert_eq!(zeros.to_csc().nnz(), 0);
     }
 
     #[test]

@@ -4,17 +4,20 @@
 //! awb-sim profile <dataset> [--scale F] [--seed N]
 //! awb-sim run     <dataset> [--design D] [--pes N] [--scale F] [--seed N] [--csv]
 //! awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
+//! awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N] [--compare-cold]
 //! awb-sim export  <dataset> <path.mtx> [--scale F] [--seed N]
 //! ```
 //!
 //! `<dataset>` is one of `cora|citeseer|pubmed|nell|reddit`; `--design`
 //! accepts `base`, `eie`, `ls<H>` (local sharing, hop H) or `ls<H>+rs`
-//! (plus remote switching), default `ls2+rs`.
+//! (plus remote switching), default `ls2+rs`. `serve` prepares the graph
+//! once (paying auto-tuning) and then serves batches of feature-matrix
+//! requests against the shared plan.
 
 use std::error::Error;
 use std::process::ExitCode;
 
-use awb_gcn_repro::accel::{trace, AccelConfig, Design, GcnRunner};
+use awb_gcn_repro::accel::{trace, AccelConfig, Design, GcnRunner, GcnService};
 use awb_gcn_repro::datasets::{DatasetSpec, GeneratedDataset, PaperDataset};
 use awb_gcn_repro::gcn::GcnInput;
 use awb_gcn_repro::sparse::io::write_matrix_market;
@@ -24,13 +27,22 @@ const USAGE: &str = "usage:
   awb-sim profile <dataset> [--scale F] [--seed N]
   awb-sim run     <dataset> [--design D] [--pes N] [--scale F] [--seed N] [--csv]
   awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
+  awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N]
+                  [--scale F] [--seed N] [--compare-cold]
   awb-sim export  <dataset> <path.mtx> [--scale F] [--seed N]
 
   <dataset>: cora | citeseer | pubmed | nell | reddit
-  --design:  base | eie | ls<H> | ls<H>+rs       (default ls2+rs)
-  --pes:     PE count                            (default 1024 x scale)
-  --scale:   node-scale factor                   (default 1.0)
-  --seed:    generator seed                      (default 42)";
+  --design:   base | eie | ls<H> | ls<H>+rs      (default ls2+rs)
+  --pes:      PE count                           (default 1024 x scale)
+  --scale:    node-scale factor                  (default 1.0)
+  --seed:     generator seed                     (default 42)
+  --threads:  host worker threads                (default AWB_THREADS/auto)
+  --no-replay: disable the steady-state replay cache
+  serve options:
+  --requests: feature-matrix requests to serve   (default 8)
+  --batch:    batch size per serve() call        (default all requests)
+  --compare-cold: also run each request on a fresh cold runner and
+                  verify outputs are bit-identical";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +63,7 @@ fn dispatch(args: &[String]) -> Result<(), Box<dyn Error>> {
         "profile" => profile(&args[1..]),
         "run" => run(&args[1..]),
         "compare" => compare(&args[1..]),
+        "serve" => serve(&args[1..]),
         "export" => export(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -68,6 +81,11 @@ struct Options {
     pes: Option<usize>,
     design: Design,
     csv: bool,
+    threads: Option<usize>,
+    replay: bool,
+    requests: usize,
+    batch: Option<usize>,
+    compare_cold: bool,
     extra_positional: Option<String>,
 }
 
@@ -79,6 +97,11 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     let mut pes = None;
     let mut design = Design::LocalPlusRemote { hop: 2 };
     let mut csv = false;
+    let mut threads = None;
+    let mut replay = true;
+    let mut requests = 8usize;
+    let mut batch = None;
+    let mut compare_cold = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -87,6 +110,11 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
             "--pes" => pes = Some(next_value(&mut it, "--pes")?.parse()?),
             "--design" => design = parse_design(&next_value(&mut it, "--design")?)?,
             "--csv" => csv = true,
+            "--threads" => threads = Some(next_value(&mut it, "--threads")?.parse()?),
+            "--no-replay" => replay = false,
+            "--requests" => requests = next_value(&mut it, "--requests")?.parse()?,
+            "--batch" => batch = Some(next_value(&mut it, "--batch")?.parse()?),
+            "--compare-cold" => compare_cold = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`").into())
             }
@@ -97,6 +125,12 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     if !(scale.is_finite() && scale > 0.0) {
         return Err("--scale must be positive".into());
     }
+    if requests == 0 {
+        return Err("--requests must be >= 1".into());
+    }
+    if batch == Some(0) {
+        return Err("--batch must be >= 1".into());
+    }
     Ok(Options {
         dataset: dataset.ok_or("missing <dataset>")?,
         scale,
@@ -104,6 +138,11 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
         pes,
         design,
         csv,
+        threads,
+        replay,
+        requests,
+        batch,
+        compare_cold,
         extra_positional,
     })
 }
@@ -159,7 +198,7 @@ fn config_for(opts: &Options) -> Result<AccelConfig, Box<dyn Error>> {
         .pes
         .unwrap_or_else(|| ((1024.0 * opts.scale).round() as usize).max(32));
     let mut builder = AccelConfig::builder();
-    builder.n_pes(pes);
+    builder.n_pes(pes).threads(opts.threads).replay(opts.replay);
     Ok(opts.design.apply(builder.build()?))
 }
 
@@ -250,6 +289,129 @@ fn compare(args: &[String]) -> Result<(), Box<dyn Error>> {
             outcome.stats.avg_utilization() * 100.0,
             base as f64 / cycles as f64
         );
+    }
+    Ok(())
+}
+
+/// `serve`: prepare the graph once, then serve batches of feature-matrix
+/// requests against the shared plan — the plan/execute split end to end.
+fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = parse_options(args)?;
+    let (spec, data, input) = load(&opts)?;
+    let config = config_for(&opts)?;
+    let batch_size = opts.batch.unwrap_or(opts.requests);
+
+    // Request stream: feature matrices regenerated per request on the
+    // *fixed* graph (request 0 reuses the warm-up features; later ones
+    // draw fresh seeds), the fixed-graph/variable-features traffic shape
+    // the service is built for.
+    let requests: Vec<_> = (0..opts.requests)
+        .map(|i| {
+            if i == 0 {
+                Ok(input.x1.clone())
+            } else {
+                GeneratedDataset::with_adjacency(
+                    &spec,
+                    data.adjacency.clone(),
+                    opts.seed.wrapping_add(i as u64),
+                )
+                .map(|d| d.features)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut service = GcnService::new(config.clone());
+    let report = service.prepare(spec.name.clone(), &input)?;
+    println!(
+        "prepared {} ({} nodes, {} PEs, design {}): {} tuning rounds, {} rows switched, \
+         warm-up {} cycles ({:.3}s wall)",
+        spec.name,
+        spec.nodes,
+        config.n_pes,
+        opts.design.label(),
+        report.tuning_rounds,
+        report.total_switches,
+        report.warmup.stats.total_cycles(),
+        report.wall_s,
+    );
+
+    let serve_start = std::time::Instant::now();
+    let mut served = Vec::with_capacity(opts.requests);
+    for chunk in requests.chunks(batch_size) {
+        let batch = service.serve(&spec.name, chunk)?;
+        // Per-batch indices restart at 0; rebase them so `index` stays
+        // the request's position in the whole stream.
+        let base = served.len();
+        served.extend(batch.requests.into_iter().map(|mut r| {
+            r.index += base;
+            r
+        }));
+    }
+    let serve_wall = serve_start.elapsed().as_secs_f64();
+
+    println!(
+        "served {} requests in {} batch(es) of <= {batch_size}:",
+        served.len(),
+        opts.requests.div_ceil(batch_size),
+    );
+    for (i, r) in served.iter().enumerate() {
+        println!(
+            "  request {i:>3}: {:>10} cycles ({:.4} ms @{} MHz) util {:>5.1}%",
+            r.outcome.stats.total_cycles(),
+            r.outcome.latency_ms(config.freq_mhz),
+            config.freq_mhz,
+            r.outcome.stats.avg_utilization() * 100.0,
+        );
+    }
+    let total_cycles: u64 = served.iter().map(|r| r.outcome.stats.total_cycles()).sum();
+    let mean_cycles = total_cycles as f64 / served.len() as f64;
+    let plan = service.plan(&spec.name).expect("just prepared");
+    println!(
+        "aggregate: mean {:.0} cycles/request ({:.4} ms), throughput {:.1} req/s, \
+         replay {} hits / {} misses",
+        mean_cycles,
+        mean_cycles / (config.freq_mhz * 1e3),
+        served.len() as f64 / serve_wall.max(1e-9),
+        plan.plan_a().replay_hits(),
+        plan.plan_a().replay_misses(),
+    );
+
+    if opts.compare_cold {
+        let runner = GcnRunner::new(config.clone());
+        // Build the cold inputs outside the timed region: only the
+        // simulation cost (fresh engines, tuning re-paid per request) is
+        // compared against the warm path.
+        let cold_inputs: Vec<GcnInput> = requests
+            .iter()
+            .map(|x1| GcnInput::from_parts(input.a_norm.clone(), x1.clone(), input.weights.clone()))
+            .collect::<Result<_, _>>()?;
+        let cold_start = std::time::Instant::now();
+        let mut identical = true;
+        for (i, cold_input) in cold_inputs.iter().enumerate() {
+            let cold = runner.run(cold_input)?;
+            if cold.output != served[i].outcome.output {
+                identical = false;
+                eprintln!("request {i}: served output differs from cold run!");
+            }
+        }
+        let cold_wall = cold_start.elapsed().as_secs_f64();
+        let warm_wall: f64 = served.iter().map(|r| r.wall_s).sum();
+        println!(
+            "cold comparison: {} independent runs took {:.3}s wall vs {:.3}s warm \
+             ({:.2}x mean per-request speedup), outputs {}",
+            requests.len(),
+            cold_wall,
+            warm_wall,
+            cold_wall / warm_wall.max(1e-9),
+            if identical {
+                "bit-identical"
+            } else {
+                "DIFFERENT"
+            },
+        );
+        if !identical {
+            return Err("served outputs differ from cold runs".into());
+        }
     }
     Ok(())
 }

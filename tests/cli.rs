@@ -119,6 +119,80 @@ row nnz   : min 0 max 28 mean 3.6 CV 0.92 Gini 0.43 imbalance 8x
     );
 }
 
+/// Golden-structure test of the `serve` subcommand: the deterministic
+/// parts (prepare line, per-request lines, aggregate, cold-comparison
+/// verdict) must all appear; wall-clock numbers are not pinned.
+#[test]
+fn serve_prepares_once_and_verifies_against_cold_runs() {
+    let out = awb_sim(&[
+        "serve",
+        "cora",
+        "--scale",
+        "0.1",
+        "--pes",
+        "16",
+        "--requests",
+        "4",
+        "--batch",
+        "2",
+        "--seed",
+        "5",
+        "--compare-cold",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("prepared Cora"),
+        "missing prepare line:\n{text}"
+    );
+    assert!(text.contains("tuning rounds"));
+    assert!(text.contains("served 4 requests in 2 batch(es)"));
+    for i in 0..4 {
+        assert!(
+            text.contains(&format!("request   {i}:")),
+            "missing request {i}:\n{text}"
+        );
+    }
+    assert!(text.contains("aggregate: mean"));
+    assert!(text.contains("replay"));
+    // The CLI itself verifies batch outputs against independent cold runs.
+    assert!(
+        text.contains("outputs bit-identical"),
+        "cold comparison failed:\n{text}"
+    );
+}
+
+#[test]
+fn serve_threads_and_replay_flags_accepted() {
+    let out = awb_sim(&[
+        "serve",
+        "cora",
+        "--scale",
+        "0.05",
+        "--pes",
+        "8",
+        "--requests",
+        "2",
+        "--threads",
+        "2",
+        "--no-replay",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // With replay disabled the cache is never consulted.
+    assert!(text.contains("replay 0 hits / 0 misses"), "{text}");
+}
+
 #[test]
 fn export_writes_matrix_market() {
     let dir = std::env::temp_dir().join(format!("awb_sim_test_{}", std::process::id()));
@@ -146,6 +220,9 @@ fn bad_inputs_are_rejected() {
         &["run", "cora", "--scale", "-1"][..],
         &["frobnicate"][..],
         &["run", "cora", "--pes"][..],
+        &["serve", "cora", "--requests", "0"][..],
+        &["serve", "cora", "--batch", "0"][..],
+        &["serve", "cora", "--threads", "0"][..],
     ] {
         let out = awb_sim(args);
         assert!(!out.status.success(), "accepted: {args:?}");
