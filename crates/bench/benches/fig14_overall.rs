@@ -162,8 +162,8 @@ fn main() {
             warm.stats.total_cycles(),
             cold.stats.total_cycles() as f64 / warm.stats.total_cycles().max(1) as f64,
             warm_wall.as_secs_f64(),
-            plan.plan_a().replay_hits(),
-            plan.plan_a().replay_misses(),
+            plan.replay_hits(),
+            plan.replay_misses(),
         );
     }
     println!(

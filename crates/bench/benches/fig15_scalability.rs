@@ -9,9 +9,15 @@
 //! PE counts scale with the dataset's node-scale factor (see `awb-bench`)
 //! so the rows/PE ratios match the paper's full-size setup.
 //!
+//! A second, shard-scalability axis (this repo's extension — `DESIGN.md`
+//! §7) runs the rebalanced design at the top PE count across 1/2/4/8
+//! nnz-balanced column shards: per-device work shrinks, the reported
+//! cycles are the critical path over shard devices, and outputs stay
+//! bit-identical to the unsharded run.
+//!
 //! Run: `cargo bench -p awb-bench --bench fig15_scalability`
 
-use awb_accel::{exec, AreaModel, Design, GcnRunner};
+use awb_accel::{exec, AreaModel, Design, GcnRunner, ShardPolicy};
 use awb_bench::{pct, render_table, BenchDataset};
 use awb_datasets::PaperDataset;
 
@@ -90,6 +96,54 @@ fn main() {
                     "CLB total"
                 ],
                 &rows
+            )
+        );
+
+        // ---- shard-scalability axis (top PE count, rebalanced design) ----
+        let top_pes = *pe_counts.last().expect("non-empty sweep");
+        let shard_counts = [1usize, 2, 4, 8];
+        let shard_rows = exec::par_map(&shard_counts, |&shards| {
+            let mut builder = awb_accel::AccelConfig::builder();
+            builder.n_pes(top_pes).shards(ShardPolicy::Fixed(shards));
+            let config = Design::LocalPlusRemote { hop }.apply(builder.build().expect("config"));
+            let (plan, out) = GcnRunner::new(config)
+                .prepare(&bench.input)
+                .expect("sharded simulation");
+            let warm = plan.run_input(&bench.input).expect("warm request");
+            vec![
+                format!("{shards}"),
+                format!("{}", out.stats.total_cycles()),
+                format!("{}", warm.stats.total_cycles()),
+                pct(warm.stats.avg_utilization()),
+            ]
+        });
+        let one_shard_warm: u64 = shard_rows[0][2].parse().expect("cycles parse");
+        let shard_rows: Vec<Vec<String>> = shard_rows
+            .into_iter()
+            .map(|mut row| {
+                let warm: u64 = row[2].parse().expect("cycles parse");
+                row.push(format!(
+                    "{:.2}x",
+                    one_shard_warm as f64 / warm.max(1) as f64
+                ));
+                row
+            })
+            .collect();
+        println!(
+            "shard scalability at {top_pes} PEs/device (LS{hop}+RS; cycles = critical path \
+             over shard devices):"
+        );
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "shards",
+                    "cold cycles",
+                    "warm cycles",
+                    "warm util",
+                    "speedup"
+                ],
+                &shard_rows
             )
         );
     }

@@ -69,10 +69,8 @@ fn main() {
         (cpu_ms, gpu_ms, eie_ms, base_ms, awb_ms)
     });
 
-    for ((dataset, paper), (cpu_ms, gpu_ms, eie_ms, base_ms, awb_ms)) in datasets
-        .into_iter()
-        .zip(paper_latency)
-        .zip(simulated.into_iter())
+    for ((dataset, paper), (cpu_ms, gpu_ms, eie_ms, base_ms, awb_ms)) in
+        datasets.into_iter().zip(paper_latency).zip(simulated)
     {
         let mk = |p: Platform, ms: f64| PlatformResult::new(p, dataset.name(), ms);
         let r_cpu = mk(Platform::Cpu, cpu_ms);

@@ -5,7 +5,11 @@
 //! Runs the fast engine on the Cora adjacency (the `kernels` bench's
 //! `fast_engine` workload) for the baseline and Design-D points, both with
 //! the steady-state replay cache and with it disabled, and records tasks,
-//! wall-clock, and tasks/second.
+//! wall-clock, and tasks/second. A shard axis (schema 3) additionally
+//! records the Design-D point executed across 2/4/8 nnz-balanced column
+//! shards (`ShardedEngine`), so the trajectory tracks multi-device
+//! throughput alongside the single-device records (which carry
+//! `"shards": 1`).
 //!
 //! Usage:
 //!   cargo run --release -p awb_bench --example bench_smoke [-- --out PATH]
@@ -19,7 +23,7 @@
 //! regression in any matched (design, replay) record and warning (only)
 //! on replay hit-rate drift. CI runs write-then-check-then-compare.
 
-use awb_accel::{exec, AccelConfig, Design, FastEngine, SpmmEngine};
+use awb_accel::{exec, AccelConfig, Design, FastEngine, ShardPolicy, ShardedEngine, SpmmEngine};
 use awb_bench::BENCH_SEED;
 use awb_datasets::{DatasetSpec, GeneratedDataset};
 use awb_sparse::DenseMatrix;
@@ -91,8 +95,8 @@ fn write_bench(path: &str) {
             }
             records.push_str(&format!(
                 "    {{\"dataset\": \"cora\", \"design\": \"{}\", \"replay\": {}, \
-                 \"n_pes\": 1024, \"tasks\": {}, \"wall_s\": {:.6}, \"tasks_per_s\": {:.1}, \
-                 \"replay_hits\": {}, \"replay_misses\": {}}}",
+                 \"shards\": 1, \"n_pes\": 1024, \"tasks\": {}, \"wall_s\": {:.6}, \
+                 \"tasks_per_s\": {:.1}, \"replay_hits\": {}, \"replay_misses\": {}}}",
                 design.label(),
                 replay,
                 tasks,
@@ -104,8 +108,45 @@ fn write_bench(path: &str) {
         }
     }
 
+    // Shard-scalability axis: the Design-D point across 2/4/8 nnz-balanced
+    // column shards, one ShardedEngine device set per record (the 1-shard
+    // point is the single-device Design-D record above).
+    for shards in [2usize, 4, 8] {
+        let design = Design::LocalPlusRemote { hop: 2 };
+        let mut builder = AccelConfig::builder();
+        builder.n_pes(1024).shards(ShardPolicy::Fixed(shards));
+        let config = design.apply(builder.build().expect("valid config"));
+        let mut engine = ShardedEngine::new(config.clone());
+        engine.run(&a, &b, "warmup").unwrap();
+        let mut wall_s = f64::MAX;
+        let mut tasks = 0;
+        let mut hits = 0;
+        let mut misses = 0;
+        for _ in 0..3 {
+            let mut engine = ShardedEngine::new(config.clone());
+            let start = Instant::now();
+            let out = engine.run(&a, &b, "smoke").unwrap();
+            wall_s = wall_s.min(start.elapsed().as_secs_f64().max(1e-9));
+            tasks = out.stats.total_tasks();
+            hits = engine.replay_hits();
+            misses = engine.replay_misses();
+        }
+        records.push_str(&format!(
+            ",\n    {{\"dataset\": \"cora\", \"design\": \"{}\", \"replay\": true, \
+             \"shards\": {}, \"n_pes\": 1024, \"tasks\": {}, \"wall_s\": {:.6}, \
+             \"tasks_per_s\": {:.1}, \"replay_hits\": {}, \"replay_misses\": {}}}",
+            design.label(),
+            shards,
+            tasks,
+            wall_s,
+            tasks as f64 / wall_s,
+            hits,
+            misses
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"schema\": 2,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
+        "{{\n  \"schema\": 3,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
          \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
         exec::num_threads(),
         records
@@ -131,6 +172,7 @@ fn check(path: &str) {
         "\"records\"",
         "\"dataset\"",
         "\"design\"",
+        "\"shards\"",
         "\"tasks\"",
         "\"wall_s\"",
         "\"tasks_per_s\"",
@@ -148,6 +190,8 @@ fn check(path: &str) {
 struct Record {
     design: String,
     replay: bool,
+    /// Column-shard devices (1 for records predating schema 3).
+    shards: u64,
     tasks_per_s: f64,
     /// Hit rate `hits / (hits + misses)`, None when the record predates
     /// schema 2 or no steady-state round consulted the cache.
@@ -180,9 +224,13 @@ fn parse_records(text: &str, path: &str) -> Vec<Record> {
             (Some(h), Some(m)) if h + m > 0.0 => Some(h / (h + m)),
             _ => None,
         };
+        let shards = field("shards")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(1);
         records.push(Record {
             design: design.to_string(),
             replay: replay == "true",
+            shards,
             tasks_per_s: tps.parse().unwrap_or(0.0),
             hit_rate,
         });
@@ -235,13 +283,13 @@ fn compare(fresh_path: &str, baseline_path: &str) {
     let mut regressions = 0usize;
     let mut matched = 0usize;
     for base in &baseline {
-        let Some(now) = fresh
-            .iter()
-            .find(|r| r.design == base.design && r.replay == base.replay)
-        else {
+        let Some(now) = fresh.iter().find(|r| {
+            r.design == base.design && r.replay == base.replay && r.shards == base.shards
+        }) else {
             eprintln!(
-                "BENCH compare: baseline record ({}, replay={}) missing from fresh run (warn)",
-                base.design, base.replay
+                "BENCH compare: baseline record ({}, replay={}, shards={}) missing from fresh \
+                 run (warn)",
+                base.design, base.replay, base.shards
             );
             continue;
         };
@@ -255,9 +303,11 @@ fn compare(fresh_path: &str, baseline_path: &str) {
             "ok"
         };
         println!(
-            "{:<10} replay={:<5} {:>14.1} -> {:>14.1} tasks/s (abs {:+.1}%, normalized {:+.1}%) {verdict}",
+            "{:<10} replay={:<5} shards={} {:>14.1} -> {:>14.1} tasks/s (abs {:+.1}%, \
+             normalized {:+.1}%) {verdict}",
             base.design,
             base.replay,
+            base.shards,
             base.tasks_per_s,
             now.tasks_per_s,
             (abs_ratio - 1.0) * 100.0,

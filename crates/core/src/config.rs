@@ -1,5 +1,6 @@
 use crate::error::AccelError;
-use awb_hw::MemoryModel;
+use awb_hw::{MemoryModel, BYTES_PER_NNZ};
+use awb_sparse::partition::ColumnPartitioner;
 
 /// How matrix rows are initially partitioned across PEs (paper Fig. 6 uses
 /// contiguous blocks).
@@ -40,6 +41,36 @@ pub enum StallMode {
     /// Head-of-line blocking: the PE stalls until the hazard resolves
     /// (ablation).
     Block,
+}
+
+/// How the adjacency is split across devices (column sharding; see
+/// `awb_sparse::partition` and `DESIGN.md` §7). The paper's accelerator is
+/// a single device; sharding opens graphs whose adjacency does not fit one
+/// SPMMeM by running one rebalanced PE array per column shard and merging
+/// partial products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShardPolicy {
+    /// Unsharded single-device execution — the paper's setup (default).
+    #[default]
+    Single,
+    /// Exactly this many nnz-balanced column shards (clamped to the
+    /// operand's column count; must be ≥ 1).
+    Fixed(usize),
+    /// As few shards as possible such that each shard's non-zeros fit the
+    /// on-chip budget of [`AccelConfig::memory`] — the memory-derived
+    /// policy (an unbounded memory model yields one shard).
+    MemoryBudget,
+}
+
+impl ShardPolicy {
+    /// Short human-readable label (`"unsharded"`, `"4 shards"`, `"mem"`).
+    pub fn label(&self) -> String {
+        match self {
+            ShardPolicy::Single => "unsharded".into(),
+            ShardPolicy::Fixed(n) => format!("{n} shards"),
+            ShardPolicy::MemoryBudget => "mem-budget".into(),
+        }
+    }
 }
 
 /// Named design points evaluated in the paper (§5.2).
@@ -174,6 +205,9 @@ pub struct AccelConfig {
     /// Disabling forces every round through the full queue simulation —
     /// the straight-simulated reference the replay path is tested against.
     pub replay: bool,
+    /// How the sparse adjacency is partitioned across devices (default
+    /// [`ShardPolicy::Single`], the paper's one-accelerator setup).
+    pub shards: ShardPolicy,
 }
 
 impl AccelConfig {
@@ -197,6 +231,20 @@ impl AccelConfig {
     /// of the paper's Eq. 5.
     pub fn rows_per_pe(&self, n_rows: usize) -> usize {
         n_rows.div_ceil(self.n_pes)
+    }
+
+    /// The column partitioner this configuration's [`ShardPolicy`]
+    /// resolves to ([`ShardPolicy::Single`] behaves as one shard;
+    /// [`ShardPolicy::MemoryBudget`] derives its nnz budget from
+    /// [`memory`](AccelConfig::memory)'s on-chip capacity).
+    pub fn partitioner(&self) -> ColumnPartitioner {
+        match self.shards {
+            ShardPolicy::Single => ColumnPartitioner::by_shards(1),
+            ShardPolicy::Fixed(n) => ColumnPartitioner::by_shards(n),
+            ShardPolicy::MemoryBudget => {
+                ColumnPartitioner::by_max_nnz((self.memory.on_chip_bytes / BYTES_PER_NNZ).max(1))
+            }
+        }
     }
 }
 
@@ -232,6 +280,7 @@ impl Default for AccelConfigBuilder {
                 memory: MemoryModel::unbounded(),
                 threads: None,
                 replay: true,
+                shards: ShardPolicy::Single,
             },
         }
     }
@@ -335,6 +384,13 @@ impl AccelConfigBuilder {
         self
     }
 
+    /// Sets the adjacency shard policy ([`ShardPolicy::Fixed`] requires a
+    /// count ≥ 1).
+    pub fn shards(&mut self, policy: ShardPolicy) -> &mut Self {
+        self.config.shards = policy;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -390,6 +446,11 @@ impl AccelConfigBuilder {
                 "threads must be >= 1 when set (use None for the default)".into(),
             ));
         }
+        if c.shards == ShardPolicy::Fixed(0) {
+            return Err(AccelError::InvalidConfig(
+                "shard count must be >= 1 (use ShardPolicy::Single for no sharding)".into(),
+            ));
+        }
         Ok(c.clone())
     }
 }
@@ -408,6 +469,46 @@ mod tests {
         assert_eq!(c.mapping, MappingKind::Block);
         assert_eq!(c.threads, None);
         assert!(c.replay);
+        assert_eq!(c.shards, ShardPolicy::Single);
+    }
+
+    #[test]
+    fn shard_policy_validation_and_partitioner() {
+        assert!(AccelConfig::builder()
+            .shards(ShardPolicy::Fixed(0))
+            .build()
+            .is_err());
+        assert!(AccelConfig::builder()
+            .shards(ShardPolicy::Fixed(4))
+            .build()
+            .is_ok());
+        assert!(AccelConfig::builder()
+            .shards(ShardPolicy::MemoryBudget)
+            .build()
+            .is_ok());
+        // Single and Fixed(1) resolve to a one-shard partitioner; a tight
+        // memory budget resolves to the budgeted split.
+        let a = {
+            let mut coo = awb_sparse::Coo::new(8, 8);
+            for c in 0..8 {
+                coo.push(0, c, 1.0).unwrap();
+            }
+            coo.to_csc()
+        };
+        let single = AccelConfig::paper_default();
+        assert_eq!(single.partitioner().partition(&a).len(), 1);
+        let mut budgeted = AccelConfig::builder()
+            .shards(ShardPolicy::MemoryBudget)
+            .build()
+            .unwrap();
+        budgeted.memory = awb_hw::MemoryModel {
+            on_chip_bytes: 2 * awb_hw::BYTES_PER_NNZ,
+            off_chip_bytes_per_cycle: 64.0,
+        };
+        assert_eq!(budgeted.partitioner().partition(&a).len(), 4);
+        assert_eq!(ShardPolicy::Fixed(4).label(), "4 shards");
+        assert_eq!(ShardPolicy::Single.label(), "unsharded");
+        assert_eq!(ShardPolicy::MemoryBudget.label(), "mem-budget");
     }
 
     #[test]

@@ -275,7 +275,7 @@ impl DetailedEngine {
 
             // --- barrier check ---
             let drained = stream_head.is_none()
-                && network.as_ref().is_none_or(|n| n.is_drained())
+                && network.as_ref().map_or(true, |n| n.is_drained())
                 && queues.iter().flatten().all(|q| q.is_empty())
                 && pipes.iter().all(|p| !p.busy());
             if drained {

@@ -25,11 +25,13 @@
 mod detailed;
 mod fast;
 mod plan;
+mod sharded;
 pub(crate) mod steady;
 
 pub use detailed::{DetailedEngine, TdqMode};
 pub use fast::FastEngine;
 pub use plan::{SpmmSession, TunedPlan};
+pub use sharded::{PlanShard, ShardedEngine, ShardedOutcome, ShardedPlan, ShardedSession};
 
 use crate::config::AccelConfig;
 use crate::error::AccelError;

@@ -149,8 +149,8 @@ pub(crate) fn simulate_round(
 
     for &j in pattern {
         let j = j as usize;
-        for idx in a_col_ptr[j]..a_col_ptr[j + 1] {
-            let row = a_row_idx[idx] as usize;
+        for &row_id in &a_row_idx[a_col_ptr[j]..a_col_ptr[j + 1]] {
+            let row = row_id as usize;
             let arrival = t / bandwidth;
             let owner = pe_of_row[row];
             owner_busy[owner as usize] += 1;
@@ -247,6 +247,25 @@ pub(crate) fn emit_column(c: &mut DenseMatrix, k: usize, acc: &mut [f32]) {
             c.set(row, k, *v);
             *v = 0.0;
         }
+    }
+}
+
+/// Computes every output column of `C = A × B` through the shared
+/// column-accumulate kernel, fanning columns out on the [`exec`]
+/// substrate. This is exactly the numerics half of [`execute_steady`]
+/// (same per-column addition order, same skip-zeros emission), exposed so
+/// the sharded executor can pin its merged output bit-identical to the
+/// unsharded engines while simulating timing per shard.
+pub(crate) fn compute_columns(a: &Csc, b: &DenseMatrix, threads: usize, c: &mut DenseMatrix) {
+    let n_rows = a.rows();
+    let patterns: Vec<(Vec<u32>, Vec<f32>)> = (0..b.cols()).map(|k| column_pattern(b, k)).collect();
+    let columns = exec::par_map_threads(threads, &patterns, |(cols, vals)| {
+        let mut acc = vec![0f32; n_rows];
+        accumulate_round(a, cols, vals, &mut acc);
+        acc
+    });
+    for (k, mut column) in columns.into_iter().enumerate() {
+        emit_column(c, k, &mut column);
     }
 }
 

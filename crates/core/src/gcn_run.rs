@@ -18,8 +18,8 @@
 //! * [`GcnRunner::run`] is the thin compatibility wrapper: one cold
 //!   inference, identical to the pre-split behaviour.
 
-use crate::config::AccelConfig;
-use crate::engine::{FastEngine, SpmmEngine, TunedPlan};
+use crate::config::{AccelConfig, ShardPolicy};
+use crate::engine::{FastEngine, ShardedEngine, ShardedPlan, SpmmEngine, TunedPlan};
 use crate::error::AccelError;
 use crate::pipeline::pipeline_two_stage;
 use crate::stats::{LayerStats, RunStats};
@@ -49,12 +49,12 @@ impl GcnRunOutcome {
 /// a mutable [`FastEngine`] during warm-up (tuning live), a
 /// [`SpmmSession`](crate::SpmmSession) during per-request execution.
 /// `X × W` always uses a fresh engine (X differs per layer and request).
-fn run_layers<E: SpmmEngine>(
+fn run_layers(
     config: &AccelConfig,
     a_csc: &Csc,
     weights: &[DenseMatrix],
     x1: &Csr,
-    engine_a: &mut E,
+    engine_a: &mut dyn SpmmEngine,
 ) -> Result<GcnRunOutcome, AccelError> {
     let n_layers = weights.len();
     let mut layers = Vec::with_capacity(n_layers);
@@ -144,7 +144,9 @@ impl GcnRunner {
     /// layers, none after the last). Thin compatibility wrapper: one cold
     /// inference (tuning included), discarding the reusable plan — call
     /// [`prepare`](GcnRunner::prepare) instead when more requests on the
-    /// same graph will follow.
+    /// same graph will follow. Honours the configuration's
+    /// [`ShardPolicy`]: a sharded runner executes `A × (XW)` across
+    /// column-shard devices (outputs bit-identical either way).
     ///
     /// # Errors
     ///
@@ -152,58 +154,122 @@ impl GcnRunner {
     pub fn run(&self, input: &GcnInput) -> Result<GcnRunOutcome, AccelError> {
         // One engine per sparse operand: A's engine persists across layers
         // so its tuned row map is reused.
-        let mut engine_a = FastEngine::new(self.config.clone());
+        let mut engine_a: Box<dyn SpmmEngine> = if self.config.shards == ShardPolicy::Single {
+            Box::new(FastEngine::new(self.config.clone()))
+        } else {
+            Box::new(ShardedEngine::new(self.config.clone()))
+        };
         run_layers(
             &self.config,
             &input.a_norm_csc,
             &input.weights,
             &input.x1,
-            &mut engine_a,
+            engine_a.as_mut(),
         )
     }
 
     /// Runs one warm-up inference (identical to [`run`](GcnRunner::run))
     /// and extracts the reusable per-graph [`GcnPlan`]: the graph, the
-    /// weights, and the frozen tuned plan for `A`. The warm-up's own
-    /// outcome is returned alongside so the tuning pass is never wasted.
+    /// weights, and the frozen tuned plan (or per-shard plans, under a
+    /// sharded [`ShardPolicy`]) for `A`. The warm-up's own outcome is
+    /// returned alongside so the tuning pass is never wasted.
     ///
     /// # Errors
     ///
     /// Propagates configuration/shape errors from the engines.
     pub fn prepare(&self, input: &GcnInput) -> Result<(GcnPlan, GcnRunOutcome), AccelError> {
-        let mut engine_a = FastEngine::new(self.config.clone());
-        let outcome = run_layers(
-            &self.config,
-            &input.a_norm_csc,
-            &input.weights,
-            &input.x1,
-            &mut engine_a,
-        )?;
-        let plan_a = engine_a.freeze_plan(&input.a_norm_csc)?;
+        let (a_plan, outcome) = if self.config.shards == ShardPolicy::Single {
+            let mut engine_a = FastEngine::new(self.config.clone());
+            let outcome = run_layers(
+                &self.config,
+                &input.a_norm_csc,
+                &input.weights,
+                &input.x1,
+                &mut engine_a,
+            )?;
+            (
+                APlan::Single(engine_a.freeze_plan(&input.a_norm_csc)?),
+                outcome,
+            )
+        } else {
+            let mut engine_a = ShardedEngine::new(self.config.clone());
+            let outcome = run_layers(
+                &self.config,
+                &input.a_norm_csc,
+                &input.weights,
+                &input.x1,
+                &mut engine_a,
+            )?;
+            (
+                APlan::Sharded(engine_a.freeze_plan(&input.a_norm_csc)?),
+                outcome,
+            )
+        };
         Ok((
             GcnPlan {
                 config: self.config.clone(),
                 a_norm_csc: input.a_norm_csc.clone(),
                 weights: input.weights.clone(),
-                plan_a,
+                a_plan,
             },
             outcome,
         ))
     }
 }
 
+/// The frozen `A`-side tuning state a [`GcnPlan`] executes against: one
+/// [`TunedPlan`] on a single device, or one per column shard.
+#[derive(Debug, Clone)]
+enum APlan {
+    Single(TunedPlan),
+    Sharded(ShardedPlan),
+}
+
+impl APlan {
+    /// The warm-up/replay counters both plan kinds expose; `GcnPlan`'s
+    /// accessors forward here so the variant dispatch lives in one place.
+    fn tuning_rounds(&self) -> usize {
+        match self {
+            APlan::Single(plan) => plan.tuning_rounds(),
+            APlan::Sharded(plan) => plan.tuning_rounds(),
+        }
+    }
+
+    fn total_switches(&self) -> u64 {
+        match self {
+            APlan::Single(plan) => plan.total_switches(),
+            APlan::Sharded(plan) => plan.total_switches(),
+        }
+    }
+
+    fn replay_hits(&self) -> u64 {
+        match self {
+            APlan::Single(plan) => plan.replay_hits(),
+            APlan::Sharded(plan) => plan.replay_hits(),
+        }
+    }
+
+    fn replay_misses(&self) -> u64 {
+        match self {
+            APlan::Single(plan) => plan.replay_misses(),
+            APlan::Sharded(plan) => plan.replay_misses(),
+        }
+    }
+}
+
 /// A prepared per-graph inference plan: everything that is a function of
 /// the graph and the model — the normalized adjacency, the layer weights,
-/// and the frozen [`TunedPlan`] for `A` — none of what is a function of a
-/// request. Produced by [`GcnRunner::prepare`]; executed per request by
-/// [`GcnPlan::run`]. Shareable: `&GcnPlan` may serve concurrent requests
-/// (see the plan concurrency contract in `DESIGN.md` §6).
+/// and the frozen `A`-side tuning state (one [`TunedPlan`], or one per
+/// column shard under a sharded [`ShardPolicy`]) — none of what is a
+/// function of a request. Produced by [`GcnRunner::prepare`]; executed per
+/// request by [`GcnPlan::run`]. Shareable: `&GcnPlan` may serve concurrent
+/// requests (see the plan concurrency contract in `DESIGN.md` §6/§7).
 #[derive(Debug, Clone)]
 pub struct GcnPlan {
     config: AccelConfig,
     a_norm_csc: Csc,
     weights: Vec<DenseMatrix>,
-    plan_a: TunedPlan,
+    a_plan: APlan,
 }
 
 impl GcnPlan {
@@ -227,22 +293,71 @@ impl GcnPlan {
         self.weights.len()
     }
 
-    /// The frozen tuned plan for `A` (row map, replay cache, counters).
-    pub fn plan_a(&self) -> &TunedPlan {
-        &self.plan_a
+    /// The frozen single-device tuned plan for `A`, when the plan was
+    /// prepared unsharded (`None` under a sharded policy — see
+    /// [`sharded_plan`](GcnPlan::sharded_plan)).
+    pub fn plan_a(&self) -> Option<&TunedPlan> {
+        match &self.a_plan {
+            APlan::Single(plan) => Some(plan),
+            APlan::Sharded(_) => None,
+        }
+    }
+
+    /// The frozen per-shard plans for `A`, when the plan was prepared
+    /// under a sharded policy.
+    pub fn sharded_plan(&self) -> Option<&ShardedPlan> {
+        match &self.a_plan {
+            APlan::Single(_) => None,
+            APlan::Sharded(plan) => Some(plan),
+        }
+    }
+
+    /// Number of `A`-side shard devices (1 when unsharded).
+    pub fn shard_count(&self) -> usize {
+        match &self.a_plan {
+            APlan::Single(_) => 1,
+            APlan::Sharded(plan) => plan.shard_count(),
+        }
+    }
+
+    /// Auto-tuning rounds the warm-up spent before freezing (summed over
+    /// shards when sharded).
+    pub fn tuning_rounds(&self) -> usize {
+        self.a_plan.tuning_rounds()
+    }
+
+    /// Rows exchanged by remote switching during the warm-up (summed over
+    /// shards when sharded).
+    pub fn total_switches(&self) -> u64 {
+        self.a_plan.total_switches()
+    }
+
+    /// Steady-state rounds served from the shared replay cache(s).
+    pub fn replay_hits(&self) -> u64 {
+        self.a_plan.replay_hits()
+    }
+
+    /// Steady-state rounds that had to be simulated (and were memoized).
+    pub fn replay_misses(&self) -> u64 {
+        self.a_plan.replay_misses()
     }
 
     /// True when `input` carries the same graph (by structure fingerprint)
     /// and the same weights this plan was prepared for.
     pub fn matches(&self, input: &GcnInput) -> bool {
-        self.plan_a.matches(&input.a_norm_csc) && self.weights == input.weights
+        let graph_matches = match &self.a_plan {
+            APlan::Single(plan) => plan.matches(&input.a_norm_csc),
+            APlan::Sharded(plan) => plan.matches(&input.a_norm_csc),
+        };
+        graph_matches && self.weights == input.weights
     }
 
     /// Executes one feature-matrix request against the shared plan: same
     /// schedule as [`GcnRunner::run`], but `A × (XW)` executes through a
-    /// session on the frozen plan — no tuning rounds, replay cache warm.
-    /// Output features are bit-identical to a cold run on the same input
-    /// (the numerics never depend on the row map).
+    /// session on the frozen plan(s) — no tuning rounds, replay cache(s)
+    /// warm. Output features are bit-identical to a cold run on the same
+    /// input, sharded or not (the numerics never depend on the row map,
+    /// and the sharded merge is pinned to the unsharded addition order).
     ///
     /// # Errors
     ///
@@ -250,13 +365,16 @@ impl GcnPlan {
     pub fn run(&self, x1: &Csr) -> Result<GcnRunOutcome, AccelError> {
         // The plan owns the adjacency the inner plan was built from, so
         // the session can skip the per-layer O(nnz) fingerprint re-hash.
-        let mut session = self.plan_a.session_trusted();
+        let mut session: Box<dyn SpmmEngine + '_> = match &self.a_plan {
+            APlan::Single(plan) => Box::new(plan.session_trusted()),
+            APlan::Sharded(plan) => Box::new(plan.session_trusted()),
+        };
         run_layers(
             &self.config,
             &self.a_norm_csc,
             &self.weights,
             x1,
-            &mut session,
+            session.as_mut(),
         )
     }
 
@@ -369,7 +487,9 @@ mod tests {
         assert_eq!(warmup.stats, cold.stats);
         assert_eq!(warmup.output, cold.output);
         assert!(plan.matches(&input));
-        assert!(plan.plan_a().tuning_rounds() > 0);
+        assert!(plan.tuning_rounds() > 0);
+        assert!(plan.plan_a().is_some(), "unsharded plan is single-device");
+        assert_eq!(plan.shard_count(), 1);
         assert_eq!(plan.layers(), 2);
     }
 
@@ -388,9 +508,9 @@ mod tests {
             assert_eq!(layer.a_xw.tuning_rounds(), 0);
         }
         // A second request keeps hitting the shared cache.
-        let hits_before = plan.plan_a().replay_hits();
+        let hits_before = plan.replay_hits();
         plan.run_input(&input).unwrap();
-        assert!(plan.plan_a().replay_hits() > hits_before);
+        assert!(plan.replay_hits() > hits_before);
     }
 
     #[test]
@@ -449,6 +569,51 @@ mod tests {
             tuned.stats.total_cycles()
         );
         assert!(tuned.stats.avg_utilization() > base.stats.avg_utilization());
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_to_unsharded() {
+        use crate::config::ShardPolicy;
+        let input = small_input(192, 16);
+        let base = Design::LocalPlusRemote { hop: 1 }.apply(config(16));
+        let reference = GcnRunner::new(base.clone()).run(&input).unwrap();
+        for shards in [1, 2, 4] {
+            let mut cfg = base.clone();
+            cfg.shards = ShardPolicy::Fixed(shards);
+            let runner = GcnRunner::new(cfg);
+            let cold = runner.run(&input).unwrap();
+            assert_eq!(cold.output, reference.output, "{shards} shards, cold");
+            assert_eq!(cold.x_density, reference.x_density);
+            // Prepared plan requests: bit-identical too, and tune-free.
+            let (plan, warmup) = runner.prepare(&input).unwrap();
+            assert_eq!(warmup.output, reference.output);
+            assert_eq!(plan.shard_count(), shards);
+            // Any Fixed policy (even Fixed(1)) takes the sharded path.
+            assert!(plan.plan_a().is_none());
+            assert!(plan.sharded_plan().is_some());
+            assert!(plan.matches(&input));
+            let served = plan.run_input(&input).unwrap();
+            assert_eq!(served.output, reference.output, "{shards} shards, warm");
+            for layer in &served.stats.layers {
+                assert_eq!(layer.a_xw.tuning_rounds(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_stats_report_total_pes() {
+        use crate::config::ShardPolicy;
+        let input = small_input(128, 17);
+        let mut cfg = Design::LocalPlusRemote { hop: 1 }.apply(config(16));
+        cfg.shards = ShardPolicy::Fixed(4);
+        let outcome = GcnRunner::new(cfg).run(&input).unwrap();
+        for layer in &outcome.stats.layers {
+            // A × (XW) merges 4 shard devices; X × W stays single-device.
+            assert_eq!(layer.a_xw.n_pes, 64);
+            assert_eq!(layer.xw.n_pes, 16);
+        }
+        let util = outcome.stats.avg_utilization();
+        assert!(util > 0.0 && util <= 1.0);
     }
 
     #[test]

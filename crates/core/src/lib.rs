@@ -26,6 +26,12 @@
 //! front-end on top (prepared per-graph plans, deterministic batch
 //! fan-out, per-request latency + aggregate throughput reporting).
 //!
+//! Graphs bigger than one device run column-sharded ([`ShardPolicy`] /
+//! [`ShardedEngine`] / [`ShardedPlan`]): the adjacency is split into
+//! nnz-balanced column shards, each with its own auto-tuned PE array, and
+//! partial products merge in an order pinned bit-identical to the
+//! unsharded path (see `DESIGN.md` §7).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -64,11 +70,13 @@ mod sweep;
 pub mod trace;
 
 pub use area::{AreaBreakdown, AreaModel};
-pub use config::{AccelConfig, AccelConfigBuilder, Design, MappingKind, SltPolicy, StallMode};
+pub use config::{
+    AccelConfig, AccelConfigBuilder, Design, MappingKind, ShardPolicy, SltPolicy, StallMode,
+};
 pub use energy::{cycles_to_ms, EnergyModel};
 pub use engine::{
-    DetailedEngine, FastEngine, PlanOutcome, SpmmEngine, SpmmOutcome, SpmmSession, TdqMode,
-    TunedPlan,
+    DetailedEngine, FastEngine, PlanOutcome, PlanShard, ShardedEngine, ShardedOutcome, ShardedPlan,
+    ShardedSession, SpmmEngine, SpmmOutcome, SpmmSession, TdqMode, TunedPlan,
 };
 pub use error::AccelError;
 pub use exec::{num_threads, par_map, par_map_threads};

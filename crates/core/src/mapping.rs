@@ -38,12 +38,12 @@ impl RowMap {
         assert!(n_pes > 0, "need at least one PE");
         let mut pe_of_row = vec![0u32; n_rows];
         let mut rows_of_pe: Vec<Vec<u32>> = vec![Vec::new(); n_pes];
-        for row in 0..n_rows {
+        for (row, slot) in pe_of_row.iter_mut().enumerate() {
             let pe = match kind {
                 MappingKind::Block => ((row as u64 * n_pes as u64) / n_rows.max(1) as u64) as u32,
                 MappingKind::Cyclic => (row % n_pes) as u32,
             };
-            pe_of_row[row] = pe;
+            *slot = pe;
             rows_of_pe[pe as usize].push(row as u32);
         }
         RowMap {

@@ -31,10 +31,14 @@ pub struct PrepareReport {
     pub graph: String,
     /// The warm-up inference's outcome (tuning rounds included).
     pub warmup: GcnRunOutcome,
-    /// Auto-tuning rounds spent on `A` before freezing.
+    /// Auto-tuning rounds spent on `A` before freezing (summed over
+    /// shards when the configuration shards the graph).
     pub tuning_rounds: usize,
     /// Rows exchanged by remote switching during warm-up.
     pub total_switches: u64,
+    /// Column-shard devices the graph was partitioned across (1 when
+    /// unsharded).
+    pub shards: usize,
     /// Host wall-clock of the warm-up pass in seconds.
     pub wall_s: f64,
 }
@@ -76,8 +80,14 @@ impl BatchOutcome {
         total as f64 / self.requests.len() as f64
     }
 
-    /// Mean simulated per-request latency in milliseconds.
+    /// Mean simulated per-request latency in milliseconds. Returns 0.0
+    /// (never NaN/inf) when `freq_mhz` is zero, negative, or non-finite —
+    /// a degenerate record should read as "no latency measured", not
+    /// poison downstream aggregation.
     pub fn mean_latency_ms(&self) -> f64 {
+        if !(self.freq_mhz.is_finite() && self.freq_mhz > 0.0) {
+            return 0.0;
+        }
         self.mean_cycles() / (self.freq_mhz * 1e3)
     }
 
@@ -175,8 +185,9 @@ impl GcnService {
         let (plan, warmup) = GcnRunner::new(self.config.clone()).prepare(input)?;
         let report = PrepareReport {
             graph: name.clone(),
-            tuning_rounds: plan.plan_a().tuning_rounds(),
-            total_switches: plan.plan_a().total_switches(),
+            tuning_rounds: plan.tuning_rounds(),
+            total_switches: plan.total_switches(),
+            shards: plan.shard_count(),
             wall_s: start.elapsed().as_secs_f64(),
             warmup,
         };
@@ -300,7 +311,7 @@ mod tests {
     #[test]
     fn unknown_graph_rejected() {
         let (service, input) = service_and_input(96, 22, 8);
-        let err = service.serve("nope", &[input.x1.clone()]);
+        let err = service.serve("nope", std::slice::from_ref(&input.x1));
         assert!(matches!(err, Err(AccelError::InvalidConfig(_))));
     }
 
@@ -314,6 +325,56 @@ mod tests {
         assert!(service.evict("g"));
         assert!(!service.evict("g"));
         assert!(service.plan("g").is_none());
+    }
+
+    #[test]
+    fn freq_derived_metrics_guard_against_zero_frequency() {
+        // A hand-built degenerate batch: freq_mhz of 0 (or worse) must
+        // yield 0.0, never NaN/inf, from every freq-derived metric.
+        let (mut service, input) = service_and_input(96, 25, 8);
+        service.prepare("g", &input).unwrap();
+        let batch = service.serve("g", std::slice::from_ref(&input.x1)).unwrap();
+        assert!(batch.mean_latency_ms() > 0.0, "healthy batch has latency");
+        for bad_freq in [0.0, -275.0, f64::NAN, f64::INFINITY] {
+            let degenerate = BatchOutcome {
+                freq_mhz: bad_freq,
+                ..batch.clone()
+            };
+            let ms = degenerate.mean_latency_ms();
+            assert_eq!(ms, 0.0, "freq {bad_freq}: got {ms}");
+            assert!(ms.is_finite());
+        }
+        // Empty batches stay finite on every aggregate.
+        let empty = BatchOutcome {
+            requests: Vec::new(),
+            wall_s: 0.0,
+            freq_mhz: 0.0,
+        };
+        assert_eq!(empty.mean_cycles(), 0.0);
+        assert_eq!(empty.mean_latency_ms(), 0.0);
+        assert_eq!(empty.mean_wall_s(), 0.0);
+        assert_eq!(empty.throughput_rps(), 0.0);
+        assert_eq!(empty.avg_utilization(), 0.0);
+    }
+
+    #[test]
+    fn sharded_service_serves_bit_identical_requests() {
+        use crate::config::ShardPolicy;
+        let (unsharded, input) = service_and_input(128, 26, 16);
+        let mut cfg = unsharded.config().clone();
+        cfg.shards = ShardPolicy::Fixed(4);
+        let mut service = GcnService::new(cfg);
+        let report = service.prepare("g", &input).unwrap();
+        assert_eq!(report.shards, 4);
+        let requests = vec![input.x1.clone(); 3];
+        let batch = service.serve("g", &requests).unwrap();
+        let reference = GcnRunner::new(unsharded.config().clone())
+            .run(&input)
+            .unwrap();
+        for r in &batch.requests {
+            assert_eq!(r.outcome.output, reference.output);
+        }
+        assert!(batch.avg_utilization() > 0.0 && batch.avg_utilization() <= 1.0);
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub fn normalize_adjacency(a: &Csr) -> Result<Csr, SparseError> {
             out.push(r, c, (inv_sqrt[r] * inv_sqrt[c]) as f32)?;
         }
     }
-    for i in 0..n {
-        out.push(i, i, (inv_sqrt[i] * inv_sqrt[i]) as f32)?;
+    for (i, inv) in inv_sqrt.iter().enumerate() {
+        out.push(i, i, (inv * inv) as f32)?;
     }
     Ok(out.to_csr())
 }

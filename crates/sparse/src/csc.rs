@@ -168,6 +168,40 @@ impl Csc {
         (0..self.cols).flat_map(move |c| self.col_entries(c).map(move |(r, v)| (r, c, v)))
     }
 
+    /// Extracts the column block `range` as a standalone matrix without
+    /// re-bucketing: because CSC stores entries in column-major order, a
+    /// contiguous column range is a contiguous slice of `Row ID`/`Val`, so
+    /// the cut is three slice copies plus a rebased `Col Ptr` — O(slice),
+    /// never O(nnz of the whole matrix). This is the primitive the
+    /// [`partition`](crate::partition) module shards graphs with.
+    ///
+    /// Row indices are preserved (the slice keeps the full row space), so
+    /// `A = [A[:, 0..k] | A[:, k..cols]]` column-concatenates back exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end > self.cols()` or `range.start > range.end`.
+    pub fn col_range(&self, range: std::ops::Range<usize>) -> Csc {
+        assert!(
+            range.start <= range.end && range.end <= self.cols,
+            "column range {range:?} out of bounds for {} columns",
+            self.cols
+        );
+        let lo = self.col_ptr[range.start];
+        let hi = self.col_ptr[range.end];
+        let col_ptr = self.col_ptr[range.start..=range.end]
+            .iter()
+            .map(|&p| p - lo)
+            .collect();
+        Csc {
+            rows: self.rows,
+            cols: range.len(),
+            col_ptr,
+            row_idx: self.row_idx[lo..hi].to_vec(),
+            values: self.values[lo..hi].to_vec(),
+        }
+    }
+
     /// Converts to CSR by re-bucketing entries by row.
     pub fn to_csr(&self) -> Csr {
         let mut counts = vec![0usize; self.rows + 1];
@@ -276,6 +310,30 @@ mod tests {
         assert!(Csc::from_parts(2, 2, vec![0, 0], vec![], vec![]).is_err());
         assert!(Csc::from_parts(2, 2, vec![0, 1, 1], vec![9], vec![1.0]).is_err());
         assert!(Csc::from_parts(2, 2, vec![0, 0, 0], vec![], vec![]).is_ok());
+    }
+
+    #[test]
+    fn col_range_slices_without_rebuild() {
+        let m = fig4();
+        let left = m.col_range(0..2);
+        assert_eq!(left.shape(), (5, 2));
+        assert_eq!(left.nnz(), 4);
+        assert_eq!(left.to_dense().get(3, 0), 3.0);
+        let right = m.col_range(2..5);
+        assert_eq!(right.shape(), (5, 3));
+        assert_eq!(right.nnz(), 4);
+        // Column j of the slice is column lo + j of the original.
+        assert_eq!(right.col_row_indices(1), m.col_row_indices(3));
+        // Full range is the identity; empty range is a 0-column matrix.
+        assert_eq!(m.col_range(0..5), m);
+        assert_eq!(m.col_range(3..3).nnz(), 0);
+        assert_eq!(m.col_range(3..3).shape(), (5, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn col_range_rejects_out_of_bounds() {
+        fig4().col_range(2..6);
     }
 
     #[test]

@@ -189,6 +189,36 @@ impl Csr {
         d
     }
 
+    /// Extracts the row block `range` as a standalone matrix without
+    /// re-bucketing — the CSR mirror of [`Csc::col_range`]: a contiguous
+    /// row range is a contiguous slice of the index/value arrays, so the
+    /// cut is three slice copies plus a rebased `row_ptr`. Column indices
+    /// are preserved (the slice keeps the full column space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end > self.rows()` or `range.start > range.end`.
+    pub fn row_range(&self, range: std::ops::Range<usize>) -> Csr {
+        assert!(
+            range.start <= range.end && range.end <= self.rows,
+            "row range {range:?} out of bounds for {} rows",
+            self.rows
+        );
+        let lo = self.row_ptr[range.start];
+        let hi = self.row_ptr[range.end];
+        let row_ptr = self.row_ptr[range.start..=range.end]
+            .iter()
+            .map(|&p| p - lo)
+            .collect();
+        Csr {
+            rows: range.len(),
+            cols: self.cols,
+            row_ptr,
+            col_idx: self.col_idx[lo..hi].to_vec(),
+            values: self.values[lo..hi].to_vec(),
+        }
+    }
+
     /// Returns the transpose (a CSC of this matrix reinterpreted as CSR of
     /// the transpose shares the same arrays; we materialize explicitly for
     /// clarity).
@@ -326,6 +356,29 @@ mod tests {
             triplets,
             vec![(0, 1, 6.0), (0, 3, 9.0), (1, 4, 7.0), (2, 0, 3.0)]
         );
+    }
+
+    #[test]
+    fn row_range_slices_without_rebuild() {
+        let m = sample();
+        let top = m.row_range(0..1);
+        assert_eq!(top.shape(), (1, 5));
+        assert_eq!(top.nnz(), 2);
+        assert_eq!(
+            top.row_entries(0).collect::<Vec<_>>(),
+            vec![(1, 6.0), (3, 9.0)]
+        );
+        let rest = m.row_range(1..3);
+        assert_eq!(rest.shape(), (2, 5));
+        assert_eq!(rest.nnz(), 2);
+        assert_eq!(m.row_range(0..3), m);
+        assert_eq!(m.row_range(2..2).nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_range_rejects_out_of_bounds() {
+        sample().row_range(1..4);
     }
 
     #[test]

@@ -192,6 +192,27 @@ impl DenseMatrix {
         }
     }
 
+    /// Copies the row block `range` into a standalone matrix. Row-major
+    /// storage makes this one contiguous slice copy — the dense mirror of
+    /// [`Csr::row_range`](crate::Csr::row_range), used to cut the dense
+    /// operand `B[lo..hi, :]` that a column shard `A[:, lo..hi]` multiplies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end > self.rows()` or `range.start > range.end`.
+    pub fn row_range(&self, range: std::ops::Range<usize>) -> DenseMatrix {
+        assert!(
+            range.start <= range.end && range.end <= self.rows,
+            "row range {range:?} out of bounds for {} rows",
+            self.rows
+        );
+        DenseMatrix {
+            rows: range.len(),
+            cols: self.cols,
+            data: self.data[range.start * self.cols..range.end * self.cols].to_vec(),
+        }
+    }
+
     /// Returns the transposed matrix.
     pub fn transpose(&self) -> DenseMatrix {
         let mut t = DenseMatrix::zeros(self.cols, self.rows);
@@ -478,5 +499,22 @@ mod tests {
         assert_eq!(coo.nnz(), 1);
         let coo = m.to_coo(0.0);
         assert_eq!(coo.nnz(), 2);
+    }
+
+    #[test]
+    fn row_range_copies_block() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let mid = m.row_range(1..3);
+        assert_eq!(mid.shape(), (2, 2));
+        assert_eq!(mid.get(0, 0), 3.0);
+        assert_eq!(mid.get(1, 1), 6.0);
+        assert_eq!(m.row_range(0..3), m);
+        assert_eq!(m.row_range(2..2).shape(), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_range_rejects_out_of_bounds() {
+        DenseMatrix::zeros(2, 2).row_range(1..3);
     }
 }

@@ -14,6 +14,9 @@
 //!   execution-order analysis of the paper's Table 2.
 //! * [`profile`] — nnz-pattern statistics (density, row-nnz distributions,
 //!   imbalance metrics, block heatmaps) backing Table 1 and Figs. 1/13.
+//! * [`partition`] — nnz-balanced column sharding (plus zero-rebuild
+//!   `col_range`/`row_range` slicing on the formats) for graphs bigger
+//!   than one device.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ mod dense;
 mod error;
 pub mod io;
 pub mod ops_count;
+pub mod partition;
 pub mod profile;
 pub mod spmm;
 

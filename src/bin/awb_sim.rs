@@ -3,8 +3,10 @@
 //! ```text
 //! awb-sim profile <dataset> [--scale F] [--seed N]
 //! awb-sim run     <dataset> [--design D] [--pes N] [--scale F] [--seed N] [--csv]
+//!                 [--shards S | --mem-budget MB]
 //! awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
-//! awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N] [--compare-cold]
+//! awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N]
+//!                 [--shards S | --mem-budget MB] [--compare-cold]
 //! awb-sim export  <dataset> <path.mtx> [--scale F] [--seed N]
 //! ```
 //!
@@ -12,12 +14,15 @@
 //! accepts `base`, `eie`, `ls<H>` (local sharing, hop H) or `ls<H>+rs`
 //! (plus remote switching), default `ls2+rs`. `serve` prepares the graph
 //! once (paying auto-tuning) and then serves batches of feature-matrix
-//! requests against the shared plan.
+//! requests against the shared plan. `--shards S` partitions the graph
+//! into S nnz-balanced column shards (one rebalanced PE array each);
+//! `--mem-budget MB` instead derives the shard count from an on-chip
+//! memory budget of MB megabytes. Outputs are bit-identical either way.
 
 use std::error::Error;
 use std::process::ExitCode;
 
-use awb_gcn_repro::accel::{trace, AccelConfig, Design, GcnRunner, GcnService};
+use awb_gcn_repro::accel::{trace, AccelConfig, Design, GcnRunner, GcnService, ShardPolicy};
 use awb_gcn_repro::datasets::{DatasetSpec, GeneratedDataset, PaperDataset};
 use awb_gcn_repro::gcn::GcnInput;
 use awb_gcn_repro::sparse::io::write_matrix_market;
@@ -26,9 +31,11 @@ use awb_gcn_repro::sparse::profile::row_nnz_stats;
 const USAGE: &str = "usage:
   awb-sim profile <dataset> [--scale F] [--seed N]
   awb-sim run     <dataset> [--design D] [--pes N] [--scale F] [--seed N] [--csv]
+                  [--shards S | --mem-budget MB]
   awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
   awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N]
-                  [--scale F] [--seed N] [--compare-cold]
+                  [--scale F] [--seed N] [--shards S | --mem-budget MB]
+                  [--compare-cold]
   awb-sim export  <dataset> <path.mtx> [--scale F] [--seed N]
 
   <dataset>: cora | citeseer | pubmed | nell | reddit
@@ -38,6 +45,9 @@ const USAGE: &str = "usage:
   --seed:     generator seed                     (default 42)
   --threads:  host worker threads                (default AWB_THREADS/auto)
   --no-replay: disable the steady-state replay cache
+  --shards:   nnz-balanced column shards (>= 1)  (default unsharded)
+  --mem-budget: on-chip budget in MB per shard device; derives the shard
+                count instead of --shards (mutually exclusive)
   serve options:
   --requests: feature-matrix requests to serve   (default 8)
   --batch:    batch size per serve() call        (default all requests)
@@ -83,6 +93,8 @@ struct Options {
     csv: bool,
     threads: Option<usize>,
     replay: bool,
+    shards: Option<usize>,
+    mem_budget_mb: Option<usize>,
     requests: usize,
     batch: Option<usize>,
     compare_cold: bool,
@@ -99,6 +111,8 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     let mut csv = false;
     let mut threads = None;
     let mut replay = true;
+    let mut shards = None;
+    let mut mem_budget_mb = None;
     let mut requests = 8usize;
     let mut batch = None;
     let mut compare_cold = false;
@@ -108,10 +122,12 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
             "--scale" => scale = next_value(&mut it, "--scale")?.parse()?,
             "--seed" => seed = next_value(&mut it, "--seed")?.parse()?,
             "--pes" => pes = Some(next_value(&mut it, "--pes")?.parse()?),
-            "--design" => design = parse_design(&next_value(&mut it, "--design")?)?,
+            "--design" => design = parse_design(next_value(&mut it, "--design")?)?,
             "--csv" => csv = true,
             "--threads" => threads = Some(next_value(&mut it, "--threads")?.parse()?),
             "--no-replay" => replay = false,
+            "--shards" => shards = Some(next_value(&mut it, "--shards")?.parse()?),
+            "--mem-budget" => mem_budget_mb = Some(next_value(&mut it, "--mem-budget")?.parse()?),
             "--requests" => requests = next_value(&mut it, "--requests")?.parse()?,
             "--batch" => batch = Some(next_value(&mut it, "--batch")?.parse()?),
             "--compare-cold" => compare_cold = true,
@@ -131,6 +147,15 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     if batch == Some(0) {
         return Err("--batch must be >= 1".into());
     }
+    if shards == Some(0) {
+        return Err("--shards must be >= 1".into());
+    }
+    if mem_budget_mb == Some(0) {
+        return Err("--mem-budget must be >= 1 MB".into());
+    }
+    if shards.is_some() && mem_budget_mb.is_some() {
+        return Err("--shards and --mem-budget are mutually exclusive".into());
+    }
     Ok(Options {
         dataset: dataset.ok_or("missing <dataset>")?,
         scale,
@@ -140,6 +165,8 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
         csv,
         threads,
         replay,
+        shards,
+        mem_budget_mb,
         requests,
         batch,
         compare_cold,
@@ -199,7 +226,21 @@ fn config_for(opts: &Options) -> Result<AccelConfig, Box<dyn Error>> {
         .unwrap_or_else(|| ((1024.0 * opts.scale).round() as usize).max(32));
     let mut builder = AccelConfig::builder();
     builder.n_pes(pes).threads(opts.threads).replay(opts.replay);
-    Ok(opts.design.apply(builder.build()?))
+    if let Some(shards) = opts.shards {
+        builder.shards(ShardPolicy::Fixed(shards));
+    }
+    let mut config = opts.design.apply(builder.build()?);
+    if let Some(mb) = opts.mem_budget_mb {
+        // A finite per-device SPMMeM: shards are cut so each fits it, and
+        // the memory model throttles anything that still does not.
+        config.memory = awb_gcn_repro::hw::MemoryModel {
+            on_chip_bytes: mb << 20,
+            off_chip_bytes_per_cycle: awb_gcn_repro::hw::MemoryModel::vcu118()
+                .off_chip_bytes_per_cycle,
+        };
+        config.shards = ShardPolicy::MemoryBudget;
+    }
+    Ok(config)
 }
 
 fn profile(args: &[String]) -> Result<(), Box<dyn Error>> {
@@ -248,6 +289,17 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         config.freq_mhz,
         outcome.stats.avg_utilization() * 100.0
     );
+    if config.shards != ShardPolicy::Single {
+        let shards = config.partitioner().partition(&input.a_norm_csc);
+        let nnz: Vec<usize> = shards.iter().map(|s| s.nnz).collect();
+        println!(
+            "sharding  : {} column shards ({}), per-shard nnz {:?}, A*(XW) cycles are the \
+             critical path over shard devices",
+            shards.len(),
+            config.shards.label(),
+            nnz,
+        );
+    }
     for spmm in outcome.stats.spmms() {
         println!(
             "  {:<10} {:>10} cycles (ideal {:>9}) util {:>5.1}% TQ depth {}",
@@ -323,12 +375,13 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut service = GcnService::new(config.clone());
     let report = service.prepare(spec.name.clone(), &input)?;
     println!(
-        "prepared {} ({} nodes, {} PEs, design {}): {} tuning rounds, {} rows switched, \
-         warm-up {} cycles ({:.3}s wall)",
+        "prepared {} ({} nodes, {} PEs, design {}, {} shard(s)): {} tuning rounds, \
+         {} rows switched, warm-up {} cycles ({:.3}s wall)",
         spec.name,
         spec.nodes,
         config.n_pes,
         opts.design.label(),
+        report.shards,
         report.tuning_rounds,
         report.total_switches,
         report.warmup.stats.total_cycles(),
@@ -372,8 +425,8 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
         mean_cycles,
         mean_cycles / (config.freq_mhz * 1e3),
         served.len() as f64 / serve_wall.max(1e-9),
-        plan.plan_a().replay_hits(),
-        plan.plan_a().replay_misses(),
+        plan.replay_hits(),
+        plan.replay_misses(),
     );
 
     if opts.compare_cold {

@@ -193,6 +193,70 @@ fn serve_threads_and_replay_flags_accepted() {
     assert!(text.contains("replay 0 hits / 0 misses"), "{text}");
 }
 
+/// Golden-structure test of sharded serving: the graph is partitioned
+/// into 4 nnz-balanced column shards, each request executes across shard
+/// devices, and the CLI's own cold comparison proves the merged outputs
+/// are bit-identical to independent (equally sharded) cold runs.
+#[test]
+fn serve_sharded_verifies_against_cold_runs() {
+    let out = awb_sim(&[
+        "serve",
+        "cora",
+        "--scale",
+        "0.1",
+        "--pes",
+        "16",
+        "--requests",
+        "3",
+        "--shards",
+        "4",
+        "--seed",
+        "5",
+        "--compare-cold",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("4 shard(s)"),
+        "missing shard count in prepare line:\n{text}"
+    );
+    assert!(text.contains("served 3 requests"));
+    assert!(
+        text.contains("outputs bit-identical"),
+        "sharded cold comparison failed:\n{text}"
+    );
+}
+
+#[test]
+fn run_mem_budget_reports_sharding() {
+    let out = awb_sim(&[
+        "run",
+        "cora",
+        "--scale",
+        "0.1",
+        "--pes",
+        "16",
+        "--mem-budget",
+        "1",
+        "--seed",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("sharding  :") && text.contains("mem-budget"),
+        "missing sharding report:\n{text}"
+    );
+}
+
 #[test]
 fn export_writes_matrix_market() {
     let dir = std::env::temp_dir().join(format!("awb_sim_test_{}", std::process::id()));
@@ -223,6 +287,11 @@ fn bad_inputs_are_rejected() {
         &["serve", "cora", "--requests", "0"][..],
         &["serve", "cora", "--batch", "0"][..],
         &["serve", "cora", "--threads", "0"][..],
+        &["serve", "cora", "--shards", "0"][..],
+        &["run", "cora", "--shards", "0"][..],
+        &["run", "cora", "--mem-budget", "0"][..],
+        &["run", "cora", "--shards", "2", "--mem-budget", "4"][..],
+        &["run", "cora", "--shards"][..],
     ] {
         let out = awb_sim(args);
         assert!(!out.status.success(), "accepted: {args:?}");

@@ -112,11 +112,11 @@ fn replay_hits_strictly_increase_across_requests() {
     let (plan, _) = GcnRunner::new(config(32)).prepare(&input).unwrap();
     // Identical requests: every round's pattern was cached by the warm-up
     // or by the first request, so hits grow strictly and misses freeze.
-    let mut last_hits = plan.plan_a().replay_hits();
-    let misses_after_warmup = plan.plan_a().replay_misses();
+    let mut last_hits = plan.replay_hits();
+    let misses_after_warmup = plan.replay_misses();
     for i in 0..4 {
         plan.run_input(&input).unwrap();
-        let hits = plan.plan_a().replay_hits();
+        let hits = plan.replay_hits();
         assert!(
             hits > last_hits,
             "request {i}: hits must strictly increase ({last_hits} -> {hits})"
@@ -124,7 +124,7 @@ fn replay_hits_strictly_increase_across_requests() {
         last_hits = hits;
     }
     assert_eq!(
-        plan.plan_a().replay_misses(),
+        plan.replay_misses(),
         misses_after_warmup,
         "repeat requests must not re-simulate cached patterns"
     );
@@ -140,7 +140,7 @@ fn plan_rejects_structurally_different_graph() {
     assert!(!plan.matches(&other));
     assert!(plan.run_input(&other).is_err());
     // The underlying SPMM plan also rejects the foreign operand directly.
-    let mut session = plan.plan_a().session();
+    let mut session = plan.plan_a().expect("unsharded plan").session();
     let b = awb_gcn_repro::sparse::DenseMatrix::zeros(NODES, 2);
     let err = awb_gcn_repro::accel::SpmmEngine::run(&mut session, &other.a_norm_csc, &b, "foreign");
     assert!(err.is_err(), "fingerprint mismatch must be rejected");

@@ -4,9 +4,10 @@
 
 use awb_gcn_repro::accel::pipeline::{pipeline_chain, pipeline_two_stage};
 use awb_gcn_repro::accel::{
-    AccelConfig, Design, FastEngine, LocalSharing, MappingKind, RemoteSwitcher, RoundProfile,
-    RowMap, SltPolicy, SpmmEngine,
+    AccelConfig, Design, FastEngine, GcnRunner, LocalSharing, MappingKind, RemoteSwitcher,
+    RoundProfile, RowMap, ShardPolicy, SltPolicy, SpmmEngine,
 };
+use awb_gcn_repro::gcn::GcnInput;
 use awb_gcn_repro::sparse::{spmm, Coo, Csc, DenseMatrix};
 use proptest::prelude::*;
 
@@ -119,6 +120,55 @@ proptest! {
         let again = replayed.run(&a, &b, "prop").unwrap();
         prop_assert_eq!(&again.stats, &reference2.stats);
         prop_assert_eq!(&again.c, &reference2.c);
+    }
+
+    /// Column-sharded execution is a pure execution-layer change: for any
+    /// random graph, shard count, and design point, the sharded GCN run
+    /// (cold and plan-served) produces output *bit-identical* to the
+    /// unsharded `GcnRunner::run`/`GcnPlan::run` — the merge order is
+    /// pinned, not approximately right.
+    #[test]
+    fn sharded_gcn_bit_identical_to_unsharded(
+        a in sparse_strategy(40, 120),
+        shards in 1usize..6,
+        seed in 0u64..50,
+        design in design_strategy(),
+        n_pes_log in 2u32..4,
+    ) {
+        let n = a.rows();
+        // Random sparse features and quantized two-layer weights.
+        let x1 = {
+            let mut coo = Coo::new(n, 5);
+            for v in 0..n {
+                coo.push(v, (v as u64 ^ seed) as usize % 5, ((v % 3) as f32) + 1.0).unwrap();
+            }
+            coo.to_csr()
+        };
+        let w1 = dense_for(5, 4, seed);
+        let w2 = dense_for(4, 3, seed ^ 0xabcd);
+        let input = GcnInput::from_parts(a.to_csr(), x1, vec![w1, w2]).unwrap();
+
+        let base = design.apply(
+            AccelConfig::builder().n_pes(1 << n_pes_log).build().unwrap(),
+        );
+        let reference = GcnRunner::new(base.clone()).run(&input).unwrap();
+
+        let mut cfg = base;
+        cfg.shards = ShardPolicy::Fixed(shards);
+        let runner = GcnRunner::new(cfg);
+        let cold = runner.run(&input).unwrap();
+        prop_assert_eq!(&cold.output, &reference.output);
+        // Work conservation per layer across the shard split.
+        prop_assert_eq!(cold.stats.total_tasks(), reference.stats.total_tasks());
+
+        let (plan, warmup) = runner.prepare(&input).unwrap();
+        prop_assert_eq!(&warmup.output, &reference.output);
+        prop_assert!(plan.shard_count() >= 1 && plan.shard_count() <= shards);
+        let served = plan.run_input(&input).unwrap();
+        prop_assert_eq!(&served.output, &reference.output);
+        for layer in &served.stats.layers {
+            prop_assert_eq!(layer.a_xw.tuning_rounds(), 0);
+        }
     }
 
     /// Remote switching may permute row ownership arbitrarily but must

@@ -174,4 +174,75 @@ proptest! {
         prop_assert_eq!(back.shape(), canonical.shape());
         prop_assert_eq!(back.to_dense(), canonical.to_dense());
     }
+
+    /// `ColumnPartitioner::by_shards` always tiles the column space
+    /// contiguously — every column in exactly one shard, no empty shards,
+    /// shard count clamped to the column count, nnz conserved.
+    #[test]
+    fn partitioner_by_shards_covers_every_column_once(
+        coo in coo_strategy(32, 160),
+        k in 1usize..10,
+    ) {
+        use awb_gcn_repro::sparse::partition::ColumnPartitioner;
+        let a = coo.to_csc();
+        let shards = ColumnPartitioner::by_shards(k).partition(&a);
+        prop_assert_eq!(shards.len(), k.min(a.cols()));
+        let mut cursor = 0usize;
+        for s in &shards {
+            prop_assert_eq!(s.cols.start, cursor, "gap or overlap");
+            prop_assert!(!s.cols.is_empty());
+            cursor = s.cols.end;
+            // Profile consistency against the actual slice.
+            let slice = s.slice(&a);
+            prop_assert_eq!(slice.nnz(), s.nnz);
+            prop_assert_eq!(slice.shape(), (a.rows(), s.n_cols()));
+        }
+        prop_assert_eq!(cursor, a.cols());
+        prop_assert_eq!(shards.iter().map(|s| s.nnz).sum::<usize>(), a.nnz());
+    }
+
+    /// `ColumnPartitioner::by_max_nnz` never exceeds the budget (whenever
+    /// the budget admits the heaviest single column — columns are the
+    /// indivisible unit) while still covering every column exactly once.
+    #[test]
+    fn partitioner_by_max_nnz_respects_budget(
+        coo in coo_strategy(32, 160),
+        slack in 0usize..40,
+    ) {
+        use awb_gcn_repro::sparse::partition::ColumnPartitioner;
+        let a = coo.to_csc();
+        let heaviest = (0..a.cols()).map(|c| a.col_nnz(c)).max().unwrap_or(0);
+        let budget = heaviest.max(1) + slack;
+        let shards = ColumnPartitioner::by_max_nnz(budget).partition(&a);
+        let mut cursor = 0usize;
+        for s in &shards {
+            prop_assert_eq!(s.cols.start, cursor);
+            cursor = s.cols.end;
+            prop_assert!(s.nnz <= budget, "shard {:?} holds {} > budget {}", s.cols, s.nnz, budget);
+        }
+        prop_assert_eq!(cursor, a.cols());
+        prop_assert_eq!(shards.iter().map(|s| s.nnz).sum::<usize>(), a.nnz());
+    }
+
+    /// Slicing round-trip: concatenating the triplets of `col_range` cuts
+    /// (with rebased column indices) reproduces the original matrix, and
+    /// `Csr::row_range` mirrors it on rows.
+    #[test]
+    fn range_slices_reassemble(coo in coo_strategy(24, 96), cut_num in 0usize..100) {
+        let csc = coo.to_csc();
+        let cut = if csc.cols() == 0 { 0 } else { cut_num % (csc.cols() + 1) };
+        let left = csc.col_range(0..cut);
+        let right = csc.col_range(cut..csc.cols());
+        let mut merged: Vec<(usize, usize, f32)> = left.iter().collect();
+        merged.extend(right.iter().map(|(r, c, v)| (r, c + cut, v)));
+        prop_assert_eq!(merged, csc.iter().collect::<Vec<_>>());
+
+        let csr = coo.to_csr();
+        let cut = if csr.rows() == 0 { 0 } else { cut_num % (csr.rows() + 1) };
+        let top = csr.row_range(0..cut);
+        let bottom = csr.row_range(cut..csr.rows());
+        let mut merged: Vec<(usize, usize, f32)> = top.iter().collect();
+        merged.extend(bottom.iter().map(|(r, c, v)| (r + cut, c, v)));
+        prop_assert_eq!(merged, csr.iter().collect::<Vec<_>>());
+    }
 }
