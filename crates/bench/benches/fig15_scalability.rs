@@ -13,7 +13,10 @@
 //! §7) runs the rebalanced design at the top PE count across 1/2/4/8
 //! nnz-balanced column shards: per-device work shrinks, the reported
 //! cycles are the critical path over shard devices, and outputs stay
-//! bit-identical to the unsharded run.
+//! bit-identical to the unsharded run. A third axis does the same for the
+//! combination phase (`DESIGN.md` §8): `--xw-shards`-style splits of each
+//! layer's feature matrix across 1/2/4/8 devices — the side that bounds
+//! end-to-end latency once `A` is sharded (`EXPERIMENTS.md` §5).
 //!
 //! Run: `cargo bench -p awb-bench --bench fig15_scalability`
 
@@ -144,6 +147,51 @@ fn main() {
                     "speedup"
                 ],
                 &shard_rows
+            )
+        );
+
+        // ---- combination (X×W) shard axis (top PE count, rebalanced) ----
+        let xw_rows = exec::par_map(&shard_counts, |&xw_shards| {
+            let mut builder = awb_accel::AccelConfig::builder();
+            builder
+                .n_pes(top_pes)
+                .combination_shards(ShardPolicy::Fixed(xw_shards));
+            let config = Design::LocalPlusRemote { hop }.apply(builder.build().expect("config"));
+            let (plan, out) = GcnRunner::new(config)
+                .prepare(&bench.input)
+                .expect("combination-sharded simulation");
+            let warm = plan.run_input(&bench.input).expect("warm request");
+            vec![
+                format!("{xw_shards}"),
+                format!("{}", out.stats.total_cycles()),
+                format!("{}", warm.stats.total_cycles()),
+                pct(warm.stats.avg_utilization()),
+            ]
+        });
+        let one_xw_warm: u64 = xw_rows[0][2].parse().expect("cycles parse");
+        let xw_rows: Vec<Vec<String>> = xw_rows
+            .into_iter()
+            .map(|mut row| {
+                let warm: u64 = row[2].parse().expect("cycles parse");
+                row.push(format!("{:.2}x", one_xw_warm as f64 / warm.max(1) as f64));
+                row
+            })
+            .collect();
+        println!(
+            "X*W (combination) shard scalability at {top_pes} PEs/device (LS{hop}+RS; each \
+             layer's X re-partitioned per request):"
+        );
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "xw shards",
+                    "cold cycles",
+                    "warm cycles",
+                    "warm util",
+                    "speedup"
+                ],
+                &xw_rows
             )
         );
     }

@@ -9,7 +9,11 @@
 //! records the Design-D point executed across 2/4/8 nnz-balanced column
 //! shards (`ShardedEngine`), so the trajectory tracks multi-device
 //! throughput alongside the single-device records (which carry
-//! `"shards": 1`).
+//! `"shards": 1`). A combination-shard axis (schema 4) records the
+//! Design-D point on the `X × W` workload (the Cora feature matrix times
+//! a dense weight block) across 2/4/8 shards; every record carries both
+//! `"shards"` and `"xw_shards"` and the compare gate matches on
+//! (design, replay, shards, xw_shards).
 //!
 //! Usage:
 //!   cargo run --release -p awb_bench --example bench_smoke [-- --out PATH]
@@ -26,7 +30,7 @@
 use awb_accel::{exec, AccelConfig, Design, FastEngine, ShardPolicy, ShardedEngine, SpmmEngine};
 use awb_bench::BENCH_SEED;
 use awb_datasets::{DatasetSpec, GeneratedDataset};
-use awb_sparse::DenseMatrix;
+use awb_sparse::{Csc, DenseMatrix};
 use std::time::Instant;
 
 const DEFAULT_PATH: &str = "BENCH_engine.json";
@@ -55,6 +59,71 @@ fn main() {
     }
 }
 
+/// Engines the smoke protocol can measure: any [`SpmmEngine`] exposing
+/// its replay counters.
+trait SmokeEngine: SpmmEngine {
+    fn counters(&self) -> (u64, u64);
+}
+
+impl SmokeEngine for FastEngine {
+    fn counters(&self) -> (u64, u64) {
+        (self.replay_hits(), self.replay_misses())
+    }
+}
+
+impl SmokeEngine for ShardedEngine {
+    fn counters(&self) -> (u64, u64) {
+        (self.replay_hits(), self.replay_misses())
+    }
+}
+
+/// One measured point (the fields every record serializes).
+struct Measured {
+    tasks: u64,
+    wall_s: f64,
+    hits: u64,
+    misses: u64,
+}
+
+/// The measurement protocol shared by every record: warm once (dataset
+/// faults, allocator), then keep the best of three timed fresh-engine
+/// runs — a single ms-scale sample is noisy enough (scheduler
+/// contention) to destabilize the CI compare gate; best-of is robust to
+/// slow outliers.
+fn best_of_three<E: SmokeEngine>(make: impl Fn() -> E, a: &Csc, b: &DenseMatrix) -> Measured {
+    make().run(a, b, "warmup").unwrap();
+    let mut m = Measured {
+        tasks: 0,
+        wall_s: f64::MAX,
+        hits: 0,
+        misses: 0,
+    };
+    for _ in 0..3 {
+        let mut engine = make();
+        let start = Instant::now();
+        let out = engine.run(a, b, "smoke").unwrap();
+        m.wall_s = m.wall_s.min(start.elapsed().as_secs_f64().max(1e-9));
+        m.tasks = out.stats.total_tasks();
+        (m.hits, m.misses) = engine.counters();
+    }
+    m
+}
+
+/// The one record template (schema 4): both shard axes in every record.
+fn record(design: Design, replay: bool, shards: usize, xw_shards: usize, m: &Measured) -> String {
+    format!(
+        "    {{\"dataset\": \"cora\", \"design\": \"{}\", \"replay\": {replay}, \
+         \"shards\": {shards}, \"xw_shards\": {xw_shards}, \"n_pes\": 1024, \"tasks\": {}, \
+         \"wall_s\": {:.6}, \"tasks_per_s\": {:.1}, \"replay_hits\": {}, \"replay_misses\": {}}}",
+        design.label(),
+        m.tasks,
+        m.wall_s,
+        m.tasks as f64 / m.wall_s,
+        m.hits,
+        m.misses
+    )
+}
+
 fn write_bench(path: &str) {
     let data = GeneratedDataset::generate(&DatasetSpec::cora(), BENCH_SEED).expect("dataset");
     let a = data.adjacency.to_csc();
@@ -65,91 +134,69 @@ fn write_bench(path: &str) {
     )
     .expect("dense B");
 
-    let mut records = String::new();
+    let mut records: Vec<String> = Vec::new();
     for design in [Design::Baseline, Design::LocalPlusRemote { hop: 2 }] {
         for replay in [true, false] {
             let config = design.apply(AccelConfig::builder().n_pes(1024).build().unwrap());
-            // Warm once (dataset faults, allocator), then record the best
-            // of three measured runs — a single ms-scale sample is noisy
-            // enough (scheduler contention) to destabilize the CI compare
-            // gate; best-of is robust to slow outliers.
-            let mut engine = FastEngine::new(config.clone());
-            engine.set_replay_enabled(replay);
-            engine.run(&a, &b, "warmup").unwrap();
-            let mut wall_s = f64::MAX;
-            let mut tasks = 0;
-            let mut hits = 0;
-            let mut misses = 0;
-            for _ in 0..3 {
-                let mut engine = FastEngine::new(config.clone());
-                engine.set_replay_enabled(replay);
-                let start = Instant::now();
-                let out = engine.run(&a, &b, "smoke").unwrap();
-                wall_s = wall_s.min(start.elapsed().as_secs_f64().max(1e-9));
-                tasks = out.stats.total_tasks();
-                hits = engine.replay_hits();
-                misses = engine.replay_misses();
-            }
-            if !records.is_empty() {
-                records.push_str(",\n");
-            }
-            records.push_str(&format!(
-                "    {{\"dataset\": \"cora\", \"design\": \"{}\", \"replay\": {}, \
-                 \"shards\": 1, \"n_pes\": 1024, \"tasks\": {}, \"wall_s\": {:.6}, \
-                 \"tasks_per_s\": {:.1}, \"replay_hits\": {}, \"replay_misses\": {}}}",
-                design.label(),
-                replay,
-                tasks,
-                wall_s,
-                tasks as f64 / wall_s,
-                hits,
-                misses
-            ));
+            let m = best_of_three(
+                || {
+                    let mut engine = FastEngine::new(config.clone());
+                    engine.set_replay_enabled(replay);
+                    engine
+                },
+                &a,
+                &b,
+            );
+            records.push(record(design, replay, 1, 1, &m));
         }
     }
 
     // Shard-scalability axis: the Design-D point across 2/4/8 nnz-balanced
     // column shards, one ShardedEngine device set per record (the 1-shard
     // point is the single-device Design-D record above).
+    let design = Design::LocalPlusRemote { hop: 2 };
     for shards in [2usize, 4, 8] {
-        let design = Design::LocalPlusRemote { hop: 2 };
         let mut builder = AccelConfig::builder();
         builder.n_pes(1024).shards(ShardPolicy::Fixed(shards));
         let config = design.apply(builder.build().expect("valid config"));
-        let mut engine = ShardedEngine::new(config.clone());
-        engine.run(&a, &b, "warmup").unwrap();
-        let mut wall_s = f64::MAX;
-        let mut tasks = 0;
-        let mut hits = 0;
-        let mut misses = 0;
-        for _ in 0..3 {
-            let mut engine = ShardedEngine::new(config.clone());
-            let start = Instant::now();
-            let out = engine.run(&a, &b, "smoke").unwrap();
-            wall_s = wall_s.min(start.elapsed().as_secs_f64().max(1e-9));
-            tasks = out.stats.total_tasks();
-            hits = engine.replay_hits();
-            misses = engine.replay_misses();
-        }
-        records.push_str(&format!(
-            ",\n    {{\"dataset\": \"cora\", \"design\": \"{}\", \"replay\": true, \
-             \"shards\": {}, \"n_pes\": 1024, \"tasks\": {}, \"wall_s\": {:.6}, \
-             \"tasks_per_s\": {:.1}, \"replay_hits\": {}, \"replay_misses\": {}}}",
-            design.label(),
-            shards,
-            tasks,
-            wall_s,
-            tasks as f64 / wall_s,
-            hits,
-            misses
-        ));
+        let m = best_of_three(|| ShardedEngine::new(config.clone()), &a, &b);
+        records.push(record(design, true, shards, 1, &m));
+    }
+
+    // Combination-shard axis (schema 4): the Design-D point on the X×W
+    // workload — the Cora feature matrix times a dense weight block —
+    // across 2/4/8 nnz-balanced column shards of X. No 1-shard X×W record
+    // is written: its key (shards=1, xw_shards=1) already names the A×B
+    // single-device records, and unsharded X×W runs the same FastEngine
+    // path those records gate — so these records track the *sharded*
+    // X×W trajectory, not a speedup ratio within the file.
+    let x1 = data.features.to_csc();
+    let w = DenseMatrix::from_vec(
+        x1.cols(),
+        16,
+        (0..x1.cols() * 16).map(|i| (i % 5) as f32 + 1.0).collect(),
+    )
+    .expect("dense W");
+    for xw_shards in [2usize, 4, 8] {
+        let mut builder = AccelConfig::builder();
+        builder
+            .n_pes(1024)
+            .combination_shards(ShardPolicy::Fixed(xw_shards));
+        let config = design.apply(builder.build().expect("valid config"));
+        let partitioner = config.combination_partitioner();
+        let m = best_of_three(
+            || ShardedEngine::with_partitioner(config.clone(), partitioner),
+            &x1,
+            &w,
+        );
+        records.push(record(design, true, 1, xw_shards, &m));
     }
 
     let json = format!(
-        "{{\n  \"schema\": 3,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
+        "{{\n  \"schema\": 4,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
          \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
         exec::num_threads(),
-        records
+        records.join(",\n")
     );
     std::fs::write(path, &json).expect("write BENCH_engine.json");
     println!("wrote {path}:\n{json}");
@@ -173,6 +220,7 @@ fn check(path: &str) {
         "\"dataset\"",
         "\"design\"",
         "\"shards\"",
+        "\"xw_shards\"",
         "\"tasks\"",
         "\"wall_s\"",
         "\"tasks_per_s\"",
@@ -190,8 +238,12 @@ fn check(path: &str) {
 struct Record {
     design: String,
     replay: bool,
-    /// Column-shard devices (1 for records predating schema 3).
+    /// Aggregation-side column-shard devices (1 for records predating
+    /// schema 3).
     shards: u64,
+    /// Combination-side (X×W) column-shard devices (1 for records
+    /// predating schema 4).
+    xw_shards: u64,
     tasks_per_s: f64,
     /// Hit rate `hits / (hits + misses)`, None when the record predates
     /// schema 2 or no steady-state round consulted the cache.
@@ -227,10 +279,14 @@ fn parse_records(text: &str, path: &str) -> Vec<Record> {
         let shards = field("shards")
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(1);
+        let xw_shards = field("xw_shards")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(1);
         records.push(Record {
             design: design.to_string(),
             replay: replay == "true",
             shards,
+            xw_shards,
             tasks_per_s: tps.parse().unwrap_or(0.0),
             hit_rate,
         });
@@ -251,7 +307,8 @@ fn geomean_tps(records: &[Record]) -> f64 {
 }
 
 /// Diffs `fresh` against `baseline`: exits non-zero when any matched
-/// (design, replay) record lost more than 20% *normalized* throughput.
+/// (design, replay, shards, xw_shards) record lost more than 20%
+/// *normalized* throughput.
 ///
 /// Each record's tasks/s is divided by its own run's geometric-mean
 /// tasks/s before comparing, so a uniformly faster/slower machine (the
@@ -284,12 +341,15 @@ fn compare(fresh_path: &str, baseline_path: &str) {
     let mut matched = 0usize;
     for base in &baseline {
         let Some(now) = fresh.iter().find(|r| {
-            r.design == base.design && r.replay == base.replay && r.shards == base.shards
+            r.design == base.design
+                && r.replay == base.replay
+                && r.shards == base.shards
+                && r.xw_shards == base.xw_shards
         }) else {
             eprintln!(
-                "BENCH compare: baseline record ({}, replay={}, shards={}) missing from fresh \
-                 run (warn)",
-                base.design, base.replay, base.shards
+                "BENCH compare: baseline record ({}, replay={}, shards={}, xw_shards={}) \
+                 missing from fresh run (warn)",
+                base.design, base.replay, base.shards, base.xw_shards
             );
             continue;
         };
@@ -303,11 +363,12 @@ fn compare(fresh_path: &str, baseline_path: &str) {
             "ok"
         };
         println!(
-            "{:<10} replay={:<5} shards={} {:>14.1} -> {:>14.1} tasks/s (abs {:+.1}%, \
+            "{:<10} replay={:<5} shards={} xw={} {:>14.1} -> {:>14.1} tasks/s (abs {:+.1}%, \
              normalized {:+.1}%) {verdict}",
             base.design,
             base.replay,
             base.shards,
+            base.xw_shards,
             base.tasks_per_s,
             now.tasks_per_s,
             (abs_ratio - 1.0) * 100.0,

@@ -43,11 +43,13 @@ pub enum StallMode {
     Block,
 }
 
-/// How the adjacency is split across devices (column sharding; see
-/// `awb_sparse::partition` and `DESIGN.md` §7). The paper's accelerator is
-/// a single device; sharding opens graphs whose adjacency does not fit one
-/// SPMMeM by running one rebalanced PE array per column shard and merging
-/// partial products.
+/// How a sparse operand is split across devices (column sharding; see
+/// `awb_sparse::partition` and `DESIGN.md` §7/§8). The paper's accelerator
+/// is a single device; sharding opens operands that do not fit one SPMMeM
+/// by running one rebalanced PE array per column shard and merging partial
+/// products. [`AccelConfig`] carries one policy per phase: `shards` for
+/// the aggregation operand `A` and `combination_shards` for the per-layer
+/// feature matrix `X`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ShardPolicy {
     /// Unsharded single-device execution — the paper's setup (default).
@@ -208,6 +210,12 @@ pub struct AccelConfig {
     /// How the sparse adjacency is partitioned across devices (default
     /// [`ShardPolicy::Single`], the paper's one-accelerator setup).
     pub shards: ShardPolicy,
+    /// How each layer's feature matrix `X` is partitioned across devices
+    /// for the combination phase `X × W` (default [`ShardPolicy::Single`]).
+    /// Orthogonal to [`shards`](AccelConfig::shards): the aggregation and
+    /// combination phases shard independently, and either axis alone (or
+    /// both) keeps layer outputs bit-identical to the unsharded run.
+    pub combination_shards: ShardPolicy,
 }
 
 impl AccelConfig {
@@ -233,16 +241,29 @@ impl AccelConfig {
         n_rows.div_ceil(self.n_pes)
     }
 
-    /// The column partitioner this configuration's [`ShardPolicy`]
-    /// resolves to ([`ShardPolicy::Single`] behaves as one shard;
+    /// The column partitioner the aggregation-side policy
+    /// ([`shards`](AccelConfig::shards)) resolves to
+    /// ([`ShardPolicy::Single`] behaves as one shard;
     /// [`ShardPolicy::MemoryBudget`] derives its nnz budget from
     /// [`memory`](AccelConfig::memory)'s on-chip capacity).
     pub fn partitioner(&self) -> ColumnPartitioner {
-        match self.shards {
+        Self::resolve_partitioner(self.shards, &self.memory)
+    }
+
+    /// The column partitioner the combination-side policy
+    /// ([`combination_shards`](AccelConfig::combination_shards)) resolves
+    /// to — same resolution rules as [`partitioner`](AccelConfig::partitioner),
+    /// applied to each layer's feature matrix `X`.
+    pub fn combination_partitioner(&self) -> ColumnPartitioner {
+        Self::resolve_partitioner(self.combination_shards, &self.memory)
+    }
+
+    fn resolve_partitioner(policy: ShardPolicy, memory: &MemoryModel) -> ColumnPartitioner {
+        match policy {
             ShardPolicy::Single => ColumnPartitioner::by_shards(1),
             ShardPolicy::Fixed(n) => ColumnPartitioner::by_shards(n),
             ShardPolicy::MemoryBudget => {
-                ColumnPartitioner::by_max_nnz((self.memory.on_chip_bytes / BYTES_PER_NNZ).max(1))
+                ColumnPartitioner::by_max_nnz((memory.on_chip_bytes / BYTES_PER_NNZ).max(1))
             }
         }
     }
@@ -281,6 +302,7 @@ impl Default for AccelConfigBuilder {
                 threads: None,
                 replay: true,
                 shards: ShardPolicy::Single,
+                combination_shards: ShardPolicy::Single,
             },
         }
     }
@@ -384,10 +406,17 @@ impl AccelConfigBuilder {
         self
     }
 
-    /// Sets the adjacency shard policy ([`ShardPolicy::Fixed`] requires a
-    /// count ≥ 1).
+    /// Sets the adjacency (aggregation-phase) shard policy
+    /// ([`ShardPolicy::Fixed`] requires a count ≥ 1).
     pub fn shards(&mut self, policy: ShardPolicy) -> &mut Self {
         self.config.shards = policy;
+        self
+    }
+
+    /// Sets the feature-matrix (combination-phase `X × W`) shard policy
+    /// ([`ShardPolicy::Fixed`] requires a count ≥ 1).
+    pub fn combination_shards(&mut self, policy: ShardPolicy) -> &mut Self {
+        self.config.combination_shards = policy;
         self
     }
 
@@ -451,6 +480,12 @@ impl AccelConfigBuilder {
                 "shard count must be >= 1 (use ShardPolicy::Single for no sharding)".into(),
             ));
         }
+        if c.combination_shards == ShardPolicy::Fixed(0) {
+            return Err(AccelError::InvalidConfig(
+                "combination shard count must be >= 1 (use ShardPolicy::Single for no sharding)"
+                    .into(),
+            ));
+        }
         Ok(c.clone())
     }
 }
@@ -470,6 +505,7 @@ mod tests {
         assert_eq!(c.threads, None);
         assert!(c.replay);
         assert_eq!(c.shards, ShardPolicy::Single);
+        assert_eq!(c.combination_shards, ShardPolicy::Single);
     }
 
     #[test]
@@ -509,6 +545,45 @@ mod tests {
         assert_eq!(ShardPolicy::Fixed(4).label(), "4 shards");
         assert_eq!(ShardPolicy::Single.label(), "unsharded");
         assert_eq!(ShardPolicy::MemoryBudget.label(), "mem-budget");
+    }
+
+    #[test]
+    fn combination_shard_policy_validation_and_partitioner() {
+        assert!(AccelConfig::builder()
+            .combination_shards(ShardPolicy::Fixed(0))
+            .build()
+            .is_err());
+        assert!(AccelConfig::builder()
+            .combination_shards(ShardPolicy::Fixed(3))
+            .build()
+            .is_ok());
+        // The two axes resolve independently: A sharded 4-way, X 2-way.
+        let a = {
+            let mut coo = awb_sparse::Coo::new(8, 8);
+            for c in 0..8 {
+                coo.push(0, c, 1.0).unwrap();
+            }
+            coo.to_csc()
+        };
+        let cfg = AccelConfig::builder()
+            .shards(ShardPolicy::Fixed(4))
+            .combination_shards(ShardPolicy::Fixed(2))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.partitioner().partition(&a).len(), 4);
+        assert_eq!(cfg.combination_partitioner().partition(&a).len(), 2);
+        // MemoryBudget on the combination axis derives from the same
+        // on-chip capacity as the aggregation axis.
+        let mut budgeted = AccelConfig::builder()
+            .combination_shards(ShardPolicy::MemoryBudget)
+            .build()
+            .unwrap();
+        budgeted.memory = awb_hw::MemoryModel {
+            on_chip_bytes: 2 * awb_hw::BYTES_PER_NNZ,
+            off_chip_bytes_per_cycle: 64.0,
+        };
+        assert_eq!(budgeted.combination_partitioner().partition(&a).len(), 4);
+        assert_eq!(budgeted.partitioner().partition(&a).len(), 1);
     }
 
     #[test]

@@ -86,6 +86,13 @@ pub struct FastEngine {
     /// [`exec::num_threads`], i.e. `AWB_THREADS` / available parallelism).
     threads: Option<usize>,
     replay_enabled: bool,
+    /// When `false` the engine runs timing-only: it never touches the
+    /// numerics (the returned `c` stays all-zeros) while every statistic
+    /// stays bit-identical — timing depends on the non-zero pattern, never
+    /// the values. Shard-member engines run in this mode because the
+    /// sharded merge recomputes the output through the pinned global-order
+    /// kernel anyway (see `engine::sharded`).
+    values_enabled: bool,
     cache: ReplayCache,
 }
 
@@ -99,6 +106,7 @@ impl FastEngine {
         FastEngine {
             threads: config.threads,
             replay_enabled: config.replay,
+            values_enabled: true,
             config,
             sharing: None,
             map: None,
@@ -138,6 +146,18 @@ impl FastEngine {
         if !on {
             self.cache.clear();
         }
+    }
+
+    /// Enables or disables the numerics half of [`run`](SpmmEngine::run)
+    /// (enabled by default). With values disabled the engine is
+    /// **timing-only**: the returned `c` is all-zeros (correct shape), but
+    /// the statistics — rounds, cycles, queue depths, replay counters —
+    /// are bit-identical to a values-carrying run on the same inputs,
+    /// because round timing is a pure function of the non-zero pattern.
+    /// Shard-member engines use this to skip the partial numerics the
+    /// pinned sharded merge discards.
+    pub fn set_values_enabled(&mut self, on: bool) {
+        self.values_enabled = on;
     }
 
     /// Steady-state rounds whose timing was served from the replay cache.
@@ -222,7 +242,12 @@ impl SpmmEngine for FastEngine {
         let mut c = DenseMatrix::zeros(n_rows, b.cols());
         let mut rounds = Vec::with_capacity(b.cols());
         let mut queue_high_water = vec![0u32; n_pes];
-        let mut col_acc = vec![0f32; n_rows];
+        // Timing-only engines never touch the column accumulator.
+        let mut col_acc = if self.values_enabled {
+            vec![0f32; n_rows]
+        } else {
+            Vec::new()
+        };
 
         // ---- Phase 1: tuning rounds, inherently sequential ----
         // Each round observes the map the previous round's switching
@@ -231,7 +256,12 @@ impl SpmmEngine for FastEngine {
         let tuner = self.tuner.as_mut().expect("initialized in ensure_state");
         let mut k = 0usize;
         while k < b.cols() && tuner.is_active() {
-            let (cols, vals) = column_pattern(b, k);
+            // Timing-only engines never read the values half.
+            let (cols, vals) = if self.values_enabled {
+                column_pattern(b, k)
+            } else {
+                (crate::engine::steady::column_pattern_cols(b, k), Vec::new())
+            };
             let mut row_tasks = tuner.needs_row_counts().then(|| vec![0u32; n_rows]);
             let sim = crate::engine::steady::simulate_round(
                 a,
@@ -240,8 +270,10 @@ impl SpmmEngine for FastEngine {
                 params,
                 row_tasks.as_deref_mut(),
             );
-            accumulate_round(a, &cols, &vals, &mut col_acc);
-            emit_column(&mut c, k, &mut col_acc);
+            if self.values_enabled {
+                accumulate_round(a, &cols, &vals, &mut col_acc);
+                emit_column(&mut c, k, &mut col_acc);
+            }
 
             // An on-chip operand pays its SPMMeM fill once (charged to
             // round 0); an off-chip operand's per-round streaming cost is
@@ -284,6 +316,7 @@ impl SpmmEngine for FastEngine {
                 memory,
                 threads,
                 cache: use_replay.then_some(&self.cache),
+                compute_values: self.values_enabled,
             },
             &mut c,
             &mut rounds,
@@ -437,6 +470,26 @@ mod tests {
             assert_eq!(o1.c, o2.c, "{design:?}");
             assert_eq!(straight.replay_hits() + straight.replay_misses(), 0);
         }
+    }
+
+    #[test]
+    fn values_free_mode_matches_timing_and_zeroes_output() {
+        // Timing-only execution (used by shard members) must report
+        // statistics and replay behaviour bit-identical to a
+        // values-carrying run — only the numerics are skipped.
+        let a = skewed(96, 60);
+        let b = dense(96, 8);
+        let cfg = Design::LocalPlusRemote { hop: 1 }.apply(config(8));
+        let mut carrying = FastEngine::new(cfg.clone());
+        let with_values = carrying.run(&a, &b, "t").unwrap();
+        let mut timing_only = FastEngine::new(cfg);
+        timing_only.set_values_enabled(false);
+        let without = timing_only.run(&a, &b, "t").unwrap();
+        assert_eq!(without.stats, with_values.stats);
+        assert_eq!(without.c, DenseMatrix::zeros(96, 8));
+        assert_ne!(with_values.c, without.c);
+        assert_eq!(timing_only.replay_hits(), carrying.replay_hits());
+        assert_eq!(timing_only.replay_misses(), carrying.replay_misses());
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! per-request [`SpmmSession`]s execute against `&TunedPlan` — so N
 //! requests on one graph pay tuning once and hit the replay cache from
 //! request 1. See `DESIGN.md` §6.
+//!
+//! The sharded layer ([`ShardedEngine`] → [`ShardedPlan`] →
+//! [`ShardedSession`]) mirrors that shape across column-shard devices —
+//! one timing-only `FastEngine`/session per shard, merged numerics
+//! through the pinned global-order kernel — and serves both phases:
+//! `A × (XW)` under `AccelConfig.shards`, each layer's `X × W` under
+//! `AccelConfig.combination_shards`. See `DESIGN.md` §7/§8.
 
 mod detailed;
 mod fast;

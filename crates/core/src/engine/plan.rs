@@ -163,6 +163,7 @@ impl TunedPlan {
             plan: self,
             threads: self.config.threads,
             verify_operand: true,
+            compute_values: true,
         }
     }
 
@@ -175,6 +176,7 @@ impl TunedPlan {
             plan: self,
             threads: self.config.threads,
             verify_operand: false,
+            compute_values: true,
         }
     }
 
@@ -203,6 +205,9 @@ pub struct SpmmSession<'p> {
     /// Whether `run` re-hashes the operand's structure against the plan's
     /// fingerprint (false only via `TunedPlan::session_trusted`).
     verify_operand: bool,
+    /// Whether `run` computes the numerics (false = timing-only, `c`
+    /// stays all-zeros; stats are bit-identical either way).
+    compute_values: bool,
 }
 
 impl SpmmSession<'_> {
@@ -216,6 +221,18 @@ impl SpmmSession<'_> {
     /// any setting; this only affects wall-clock.
     pub fn set_threads(&mut self, threads: Option<usize>) {
         self.threads = threads;
+    }
+
+    /// Enables or disables the numerics half of [`run`](SpmmEngine::run)
+    /// (enabled by default) — the session analogue of
+    /// [`FastEngine::set_values_enabled`](crate::FastEngine::set_values_enabled).
+    /// With values disabled the returned `c` is all-zeros while every
+    /// statistic (and the shared replay cache's behaviour) stays
+    /// bit-identical. Shard-member sessions run timing-only because the
+    /// sharded merge recomputes the output through the pinned
+    /// global-order kernel.
+    pub fn set_values_enabled(&mut self, on: bool) {
+        self.compute_values = on;
     }
 }
 
@@ -257,6 +274,7 @@ impl SpmmEngine for SpmmSession<'_> {
                 memory: plan.memory,
                 threads: self.threads.unwrap_or_else(exec::num_threads),
                 cache,
+                compute_values: self.compute_values,
             },
             &mut c,
             &mut rounds,

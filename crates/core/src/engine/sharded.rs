@@ -20,13 +20,14 @@
 //! would regroup the per-row addition chains and drift in the last ulp.
 //! A physical multi-device merge unit achieves the same determinism by
 //! accumulating shard partial products in stream order; the simulator
-//! realizes that pinned order directly. Per-shard numerics still run
-//! inside each shard's engine (FastEngine computes values and timing in
-//! one pass; the partials model what each device computes but are then
-//! discarded), so the host pays the accumulate work roughly twice on a
-//! sharded run. Simulation timing dominates that cost today; a
-//! values-free shard execution mode is the noted follow-up (ROADMAP)
-//! if the numerics half ever shows up in profiles.
+//! realizes that pinned order directly. Shard-member engines and
+//! sessions therefore run **values-free** (timing-only — see
+//! [`FastEngine::set_values_enabled`]): the partial numerics the merge
+//! would discard are never computed, so a sharded run pays the
+//! accumulate work exactly once, in the merge kernel. Timing is a pure
+//! function of each round's non-zero pattern, so shard statistics are
+//! bit-identical to what a values-carrying shard run would report
+//! (pinned by the stats-equality tests below).
 //!
 //! # Stats semantics
 //!
@@ -36,9 +37,13 @@
 //! over shards (the critical path); tasks/busy/stalls **sum**; the PE
 //! count is the **total** across shard devices, so merged utilization is
 //! `Σ busy / (critical-path cycles × total PEs)` — idle devices waiting
-//! on the slowest shard honestly depress it. [`ShardedOutcome`] keeps the
-//! per-shard stats alongside the merged view and exposes the
-//! critical-path/sum cycle aggregates directly.
+//! on the slowest shard honestly depress it. Shards whose stats report
+//! fewer rounds than the longest shard are padded with empty (all-zero)
+//! rounds, so unequal per-shard round counts merge without panic or
+//! truncation. [`ShardedOutcome`] keeps the per-shard stats alongside the
+//! merged view and exposes the critical-path/sum cycle aggregates
+//! directly; its statistics come from values-free shard execution, which
+//! changes none of them.
 
 use crate::config::AccelConfig;
 use crate::engine::steady::{compute_columns, structure_fingerprint};
@@ -46,6 +51,7 @@ use crate::engine::{check_shapes, FastEngine, PlanOutcome, SpmmEngine, SpmmOutco
 use crate::error::AccelError;
 use crate::exec;
 use crate::stats::{RoundStats, SpmmStats};
+use awb_sparse::partition::ColumnPartitioner;
 use awb_sparse::{Csc, DenseMatrix};
 use std::ops::Range;
 use std::sync::{Arc, Mutex};
@@ -79,21 +85,31 @@ impl ShardedOutcome {
 /// module docs for the exact semantics).
 fn merge_stats(label: &str, per_shard: &[SpmmStats]) -> SpmmStats {
     let n_pes: usize = per_shard.iter().map(|s| s.n_pes).sum();
-    let n_rounds = per_shard.first().map_or(0, |s| s.rounds.len());
+    // Shards may report unequal round counts (e.g. per-shard tuning that
+    // converged at different columns, or a degenerate empty shard): merge
+    // over the *max*, padding exhausted shards with an empty round —
+    // their device is idle, so it contributes nothing but a 0 to the
+    // min-busy floor. Sizing from the first shard instead would panic on
+    // a longer shard or silently drop its trailing rounds.
+    let n_rounds = per_shard.iter().map(|s| s.rounds.len()).max().unwrap_or(0);
+    let empty = RoundStats {
+        cycles: 0,
+        tasks: 0,
+        busy_cycles: 0,
+        max_pe_busy: 0,
+        min_pe_busy: 0,
+        max_queue_depth: 0,
+        raw_stalls: 0,
+        tuning_active: false,
+    };
     let mut rounds = Vec::with_capacity(n_rounds);
     for r in 0..n_rounds {
         let mut merged = RoundStats {
-            cycles: 0,
-            tasks: 0,
-            busy_cycles: 0,
-            max_pe_busy: 0,
             min_pe_busy: u64::MAX,
-            max_queue_depth: 0,
-            raw_stalls: 0,
-            tuning_active: false,
+            ..empty
         };
         for s in per_shard {
-            let rs = &s.rounds[r];
+            let rs = s.rounds.get(r).unwrap_or(&empty);
             merged.cycles = merged.cycles.max(rs.cycles);
             merged.tasks += rs.tasks;
             merged.busy_cycles += rs.busy_cycles;
@@ -166,10 +182,14 @@ struct EngineShard {
 
 /// A tuning-live sharded engine: the multi-device analogue of
 /// [`FastEngine`]. The first operand is partitioned by the
-/// configuration's [`ShardPolicy`](crate::ShardPolicy); each shard then
-/// owns a `FastEngine` whose auto-tuner converges on that shard's own
-/// density profile. Freeze via [`freeze_plan`](ShardedEngine::freeze_plan)
-/// into a shareable [`ShardedPlan`].
+/// configuration's aggregation-side [`ShardPolicy`](crate::ShardPolicy)
+/// (or an explicit partitioner via
+/// [`with_partitioner`](ShardedEngine::with_partitioner) — how the
+/// combination phase shards each layer's feature matrix); each shard then
+/// owns a timing-only `FastEngine` whose auto-tuner converges on that
+/// shard's own density profile. Freeze via
+/// [`freeze_plan`](ShardedEngine::freeze_plan) into a shareable
+/// [`ShardedPlan`].
 ///
 /// Unlike `FastEngine` (which only pins the row count), a sharded engine
 /// is bound to the exact sparsity structure it partitioned: reusing it
@@ -178,16 +198,28 @@ struct EngineShard {
 #[derive(Debug)]
 pub struct ShardedEngine {
     config: AccelConfig,
+    partitioner: ColumnPartitioner,
     shards: Vec<EngineShard>,
     /// Fingerprint/shape of the partitioned operand (set on first run).
     operand: Option<(u64, usize, usize, usize)>,
 }
 
 impl ShardedEngine {
-    /// Creates an engine; shards are cut from the first operand it runs.
+    /// Creates an engine; shards are cut from the first operand it runs,
+    /// using the configuration's aggregation-side policy
+    /// ([`AccelConfig::partitioner`]).
     pub fn new(config: AccelConfig) -> Self {
+        let partitioner = config.partitioner();
+        ShardedEngine::with_partitioner(config, partitioner)
+    }
+
+    /// Creates an engine that cuts shards with an explicit partitioner
+    /// instead of the configuration's aggregation-side policy — e.g.
+    /// [`AccelConfig::combination_partitioner`] for the `X × W` phase.
+    pub fn with_partitioner(config: AccelConfig, partitioner: ColumnPartitioner) -> Self {
         ShardedEngine {
             config,
+            partitioner,
             shards: Vec::new(),
             operand: None,
         }
@@ -237,15 +269,22 @@ impl ShardedEngine {
                 Ok(())
             }
             None => {
+                // Shard members run timing-only: the merge recomputes the
+                // numerics through the pinned global-order kernel, so
+                // per-shard partials would be discarded work (module docs).
+                let member_engine = || {
+                    let mut engine = FastEngine::new(self.config.clone());
+                    engine.set_values_enabled(false);
+                    Mutex::new(engine)
+                };
                 self.shards = self
-                    .config
-                    .partitioner()
+                    .partitioner
                     .partition(a)
                     .iter()
                     .map(|shard| EngineShard {
                         cols: shard.cols.clone(),
                         a: Arc::new(shard.slice(a)),
-                        engine: Mutex::new(FastEngine::new(self.config.clone())),
+                        engine: member_engine(),
                     })
                     .collect();
                 if self.shards.is_empty() {
@@ -255,7 +294,7 @@ impl ShardedEngine {
                     self.shards.push(EngineShard {
                         cols: 0..a.cols(),
                         a: Arc::new(a.clone()),
-                        engine: Mutex::new(FastEngine::new(self.config.clone())),
+                        engine: member_engine(),
                     });
                 }
                 self.operand = Some((fp, a.rows(), a.cols(), a.nnz()));
@@ -523,7 +562,13 @@ impl ShardedSession<'_> {
             b,
             label,
             |shard| shard.cols.clone(),
-            |shard, b_slice| shard.plan.session_trusted().run(&shard.a, b_slice, label),
+            |shard, b_slice| {
+                // Timing-only member sessions: the merged numerics come
+                // from the pinned global-order kernel in `run_shards`.
+                let mut session = shard.plan.session_trusted();
+                session.set_values_enabled(false);
+                session.run(&shard.a, b_slice, label)
+            },
         )
     }
 }
@@ -713,6 +758,93 @@ mod tests {
         let mut unsharded_cfg = cfg;
         unsharded_cfg.shards = ShardPolicy::Single;
         let reference = FastEngine::new(unsharded_cfg).run(&a, &b, "t").unwrap();
+        assert_eq!(out.outcome.c, reference.c);
+    }
+
+    /// Regression: `merge_stats` used to size the merged round vector from
+    /// the *first* shard and index every other shard at that length —
+    /// shards with more rounds panicked, shards with fewer were silently
+    /// truncated. Deliberately unequal convergence (3/1/0 rounds) must
+    /// merge over the max, padding exhausted shards with empty rounds.
+    #[test]
+    fn merge_stats_handles_unequal_per_shard_round_counts() {
+        let round = |cycles: u64, tasks: u64| RoundStats {
+            cycles,
+            tasks,
+            busy_cycles: tasks,
+            max_pe_busy: tasks,
+            min_pe_busy: 1,
+            max_queue_depth: 2,
+            raw_stalls: 0,
+            tuning_active: false,
+        };
+        let stats = |rounds: Vec<RoundStats>| SpmmStats {
+            label: "s".into(),
+            n_pes: 4,
+            rounds,
+            queue_high_water: vec![2; 4],
+        };
+        let short_first = [
+            stats(vec![round(10, 8)]),
+            stats(vec![round(7, 4), round(9, 4), round(30, 4)]),
+            stats(Vec::new()),
+        ];
+        let merged = merge_stats("m", &short_first);
+        assert_eq!(merged.rounds.len(), 3, "max round count, not the first");
+        assert_eq!(merged.n_pes, 12);
+        // Round 0 merges all three shards; rounds 1/2 only the long one.
+        assert_eq!(merged.rounds[0].cycles, 10);
+        assert_eq!(merged.rounds[0].tasks, 12);
+        assert_eq!(merged.rounds[1].cycles, 9);
+        assert_eq!(merged.rounds[2].cycles, 30);
+        assert_eq!(merged.rounds[2].tasks, 4);
+        // Padded (idle) shard devices floor the min-busy at 0.
+        assert_eq!(merged.rounds[1].min_pe_busy, 0);
+        // No trailing round is dropped whichever shard comes first.
+        let long_first = [short_first[1].clone(), short_first[0].clone()];
+        let merged2 = merge_stats("m", &long_first);
+        assert_eq!(merged2.rounds.len(), 3);
+        assert_eq!(merged2.total_cycles(), 10 + 9 + 30);
+        assert_eq!(merged2.total_tasks(), 8 + 12);
+    }
+
+    /// Shard members execute values-free; their timing must be exactly
+    /// what a values-carrying engine reports on the same shard inputs.
+    #[test]
+    fn values_free_members_match_values_carrying_timing() {
+        let a = skewed(96, 60);
+        let b = dense(96, 8);
+        let cfg = config(8, 3);
+        let mut engine = ShardedEngine::new(cfg.clone());
+        let out = engine.run_detailed(&a, &b, "t").unwrap();
+        // Re-run every shard slice on a values-carrying FastEngine:
+        // per-shard stats (ascending column order) must match bit for bit.
+        for (i, shard) in cfg.partitioner().partition(&a).iter().enumerate() {
+            let a_slice = shard.slice(&a);
+            let b_slice = b.row_range(shard.cols.clone());
+            let mut carrying = FastEngine::new(cfg.clone());
+            let reference = carrying.run(&a_slice, &b_slice, "t").unwrap();
+            assert_eq!(
+                out.per_shard[i], reference.stats,
+                "shard {i} (cols {:?}) timing diverged under values-free execution",
+                shard.cols
+            );
+        }
+    }
+
+    #[test]
+    fn with_partitioner_overrides_config_policy() {
+        // Config says unsharded; an explicit partitioner still cuts 3
+        // shards (the combination phase's construction path).
+        let a = skewed(96, 60);
+        let b = dense(96, 6);
+        let cfg = config(8, 1);
+        let mut engine =
+            ShardedEngine::with_partitioner(cfg.clone(), ColumnPartitioner::by_shards(3));
+        let out = engine.run_detailed(&a, &b, "t").unwrap();
+        assert_eq!(engine.shard_count(), 3);
+        assert_eq!(out.outcome.stats.n_pes, 3 * 8);
+        let reference = FastEngine::new(cfg).run(&a, &b, "t").unwrap();
         assert_eq!(out.outcome.c, reference.c);
     }
 

@@ -231,6 +231,16 @@ pub(crate) fn column_pattern(b: &DenseMatrix, k: usize) -> (Vec<u32>, Vec<f32>) 
     (cols, vals)
 }
 
+/// The non-zero positions of `b[:, k]` alone — the pattern half of
+/// [`column_pattern`], for timing-only execution which never reads the
+/// values (timing is a pure function of the pattern).
+pub(crate) fn column_pattern_cols(b: &DenseMatrix, k: usize) -> Vec<u32> {
+    (0..b.rows())
+        .filter(|&j| b.get(j, k) != 0.0)
+        .map(|j| j as u32)
+        .collect()
+}
+
 /// Accumulates one round's numerics into `acc` (same f32 addition order as
 /// the pre-replay per-task loop: `j` ascending, CSC index order).
 pub(crate) fn accumulate_round(a: &Csc, cols: &[u32], vals: &[f32], acc: &mut [f32]) {
@@ -365,6 +375,12 @@ pub(crate) struct SteadySpan<'a> {
     pub threads: usize,
     /// `None` disables replay (straight simulation of every round).
     pub cache: Option<&'a ReplayCache>,
+    /// When `false`, the numerics half is skipped entirely (timing-only
+    /// execution): no accumulate fan-out, no column writes — `c` is left
+    /// untouched. Timing is a pure function of the non-zero *pattern*, so
+    /// every statistic is bit-identical either way. Used by shard-member
+    /// engines whose partial numerics the pinned merge would discard.
+    pub compute_values: bool,
 }
 
 /// Executes columns `start..b.cols()` under a frozen row map: repeated
@@ -383,8 +399,15 @@ pub(crate) fn execute_steady(
         return;
     }
     let n_rows = span.a.rows();
+    // Timing-only spans never read the values, so skip extracting them.
     let patterns: Vec<(Vec<u32>, Vec<f32>)> = (span.start..b.cols())
-        .map(|k| column_pattern(b, k))
+        .map(|k| {
+            if span.compute_values {
+                column_pattern(b, k)
+            } else {
+                (column_pattern_cols(b, k), Vec::new())
+            }
+        })
         .collect();
 
     let timings: Vec<RoundTiming> = match span.cache {
@@ -445,12 +468,17 @@ pub(crate) fn execute_steady(
         }),
     };
 
-    // Numerics: each round owns its output column of C.
-    let columns = exec::par_map_threads(span.threads, &patterns, |(cols, vals)| {
-        let mut acc = vec![0f32; n_rows];
-        accumulate_round(span.a, cols, vals, &mut acc);
-        acc
-    });
+    // Numerics: each round owns its output column of C (skipped wholesale
+    // in timing-only mode — see `SteadySpan::compute_values`).
+    let columns = if span.compute_values {
+        exec::par_map_threads(span.threads, &patterns, |(cols, vals)| {
+            let mut acc = vec![0f32; n_rows];
+            accumulate_round(span.a, cols, vals, &mut acc);
+            acc
+        })
+    } else {
+        Vec::new()
+    };
 
     for (i, timing) in timings.iter().enumerate() {
         let k = span.start + i;

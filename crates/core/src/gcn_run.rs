@@ -48,7 +48,11 @@ impl GcnRunOutcome {
 /// The per-layer inference schedule, generic over how `A × (XW)` executes:
 /// a mutable [`FastEngine`] during warm-up (tuning live), a
 /// [`SpmmSession`](crate::SpmmSession) during per-request execution.
-/// `X × W` always uses a fresh engine (X differs per layer and request).
+/// `X × W` uses a fresh engine per layer (X differs per layer and
+/// request) — a single device, or one auto-tuned device per nnz-balanced
+/// column shard of `X` under [`AccelConfig::combination_shards`], merged
+/// through the pinned global-order kernel so layer outputs stay
+/// bit-identical either way.
 fn run_layers(
     config: &AccelConfig,
     a_csc: &Csc,
@@ -66,8 +70,25 @@ fn run_layers(
     let mut x_dense_out: DenseMatrix = DenseMatrix::zeros(0, 0);
     for (l, w) in weights.iter().enumerate() {
         x_density.push(x_csc.density());
-        // Stage 1: X × W (fresh engine; X differs per layer).
-        let mut engine_x = FastEngine::new(config.clone());
+        // Stage 1: X × W (fresh engine per layer; X differs per layer and
+        // request, so there is no tuned state to carry over — the shard
+        // cut, when sharded, is re-derived from this layer's X). A policy
+        // that resolves to a single shard for this X (Fixed(1), or a
+        // memory budget the whole matrix fits) dispatches to the plain
+        // engine: a 1-shard ShardedEngine would copy X every layer of
+        // every request for bit-identical output and stats. `is_single`
+        // is O(1), so the dispatch never pays a partition scan the
+        // sharded engine would then repeat.
+        let combination_sharded = config.combination_shards != ShardPolicy::Single
+            && !config.combination_partitioner().is_single(&x_csc);
+        let mut engine_x: Box<dyn SpmmEngine> = if combination_sharded {
+            Box::new(ShardedEngine::with_partitioner(
+                config.clone(),
+                config.combination_partitioner(),
+            ))
+        } else {
+            Box::new(FastEngine::new(config.clone()))
+        };
         let xw = engine_x.run(&x_csc, w, &format!("L{}:X*W", l + 1))?;
         // Stage 2: A × (XW) on the persistent A engine/session.
         let a_xw = engine_a.run(a_csc, &xw.c, &format!("L{}:A*(XW)", l + 1))?;
@@ -144,9 +165,10 @@ impl GcnRunner {
     /// layers, none after the last). Thin compatibility wrapper: one cold
     /// inference (tuning included), discarding the reusable plan — call
     /// [`prepare`](GcnRunner::prepare) instead when more requests on the
-    /// same graph will follow. Honours the configuration's
-    /// [`ShardPolicy`]: a sharded runner executes `A × (XW)` across
-    /// column-shard devices (outputs bit-identical either way).
+    /// same graph will follow. Honours both of the configuration's
+    /// [`ShardPolicy`] axes: `shards` executes `A × (XW)` across
+    /// column-shard devices, `combination_shards` does the same for each
+    /// layer's `X × W` (outputs bit-identical in every combination).
     ///
     /// # Errors
     ///
@@ -355,9 +377,11 @@ impl GcnPlan {
     /// Executes one feature-matrix request against the shared plan: same
     /// schedule as [`GcnRunner::run`], but `A × (XW)` executes through a
     /// session on the frozen plan(s) — no tuning rounds, replay cache(s)
-    /// warm. Output features are bit-identical to a cold run on the same
-    /// input, sharded or not (the numerics never depend on the row map,
-    /// and the sharded merge is pinned to the unsharded addition order).
+    /// warm. `X × W` still runs fresh per layer (X is request state), on
+    /// one device or across `combination_shards` devices. Output features
+    /// are bit-identical to a cold run on the same input, sharded on
+    /// either axis or not (the numerics never depend on the row map, and
+    /// the sharded merges are pinned to the unsharded addition order).
     ///
     /// # Errors
     ///
@@ -597,6 +621,60 @@ mod tests {
             for layer in &served.stats.layers {
                 assert_eq!(layer.a_xw.tuning_rounds(), 0);
             }
+        }
+    }
+
+    #[test]
+    fn combination_sharded_runs_are_bit_identical_to_unsharded() {
+        use crate::config::ShardPolicy;
+        let input = small_input(192, 18);
+        let base = Design::LocalPlusRemote { hop: 1 }.apply(config(16));
+        let reference = GcnRunner::new(base.clone()).run(&input).unwrap();
+        for xw_shards in [1, 2, 4] {
+            let mut cfg = base.clone();
+            cfg.combination_shards = ShardPolicy::Fixed(xw_shards);
+            let runner = GcnRunner::new(cfg);
+            let cold = runner.run(&input).unwrap();
+            assert_eq!(cold.output, reference.output, "{xw_shards} X shards, cold");
+            assert_eq!(cold.x_density, reference.x_density);
+            if xw_shards == 1 {
+                // A 1-resolved policy dispatches to the plain engine:
+                // stats (not just outputs) degenerate to the unsharded run.
+                assert_eq!(cold.stats, reference.stats);
+            }
+            // Warm requests against the prepared plan shard X too.
+            let (plan, warmup) = runner.prepare(&input).unwrap();
+            assert_eq!(warmup.output, reference.output);
+            let served = plan.run_input(&input).unwrap();
+            assert_eq!(
+                served.output, reference.output,
+                "{xw_shards} X shards, warm"
+            );
+        }
+    }
+
+    #[test]
+    fn both_shard_axes_compose_bit_identically() {
+        use crate::config::ShardPolicy;
+        let input = small_input(192, 19);
+        let base = Design::LocalPlusRemote { hop: 1 }.apply(config(16));
+        let reference = GcnRunner::new(base.clone()).run(&input).unwrap();
+        let mut cfg = base;
+        cfg.shards = ShardPolicy::Fixed(3);
+        cfg.combination_shards = ShardPolicy::Fixed(2);
+        let runner = GcnRunner::new(cfg);
+        let cold = runner.run(&input).unwrap();
+        assert_eq!(cold.output, reference.output);
+        let (plan, warmup) = runner.prepare(&input).unwrap();
+        assert_eq!(warmup.output, reference.output);
+        assert_eq!(plan.shard_count(), 3);
+        let served = plan.run_input(&input).unwrap();
+        assert_eq!(served.output, reference.output);
+        for layer in &served.stats.layers {
+            assert_eq!(layer.a_xw.tuning_rounds(), 0);
+            // Both phases report their own device totals.
+            assert_eq!(layer.a_xw.n_pes, 3 * 16);
+            assert_eq!(layer.xw.n_pes, 2 * 16);
         }
     }
 

@@ -36,9 +36,16 @@ pub struct PrepareReport {
     pub tuning_rounds: usize,
     /// Rows exchanged by remote switching during warm-up.
     pub total_switches: u64,
-    /// Column-shard devices the graph was partitioned across (1 when
-    /// unsharded).
+    /// Column-shard devices the graph (aggregation side, `A`) was
+    /// partitioned across (1 when unsharded).
     pub shards: usize,
+    /// Most column-shard devices any layer's feature matrix was
+    /// partitioned across for `X × W` during the warm-up (1 when the
+    /// combination phase is unsharded; each layer of each request
+    /// re-derives its own cut from its `X`, so counts can differ per
+    /// layer — e.g. a memory budget that holds the sparse X1 but not the
+    /// dense hidden matrix shards only layer 2).
+    pub combination_shards: usize,
     /// Host wall-clock of the warm-up pass in seconds.
     pub wall_s: f64,
 }
@@ -183,11 +190,23 @@ impl GcnService {
         let name = name.into();
         let start = Instant::now();
         let (plan, warmup) = GcnRunner::new(self.config.clone()).prepare(input)?;
+        // The merged X×W stats carry the total PE count over combination
+        // shard devices, so the warm-up reveals each layer's shard count
+        // without re-partitioning; report the deepest split (layers can
+        // differ — see the field docs).
+        let combination_shards = warmup
+            .stats
+            .layers
+            .iter()
+            .map(|l| (l.xw.n_pes / self.config.n_pes).max(1))
+            .max()
+            .unwrap_or(1);
         let report = PrepareReport {
             graph: name.clone(),
             tuning_rounds: plan.tuning_rounds(),
             total_switches: plan.total_switches(),
             shards: plan.shard_count(),
+            combination_shards,
             wall_s: start.elapsed().as_secs_f64(),
             warmup,
         };
@@ -366,6 +385,7 @@ mod tests {
         let mut service = GcnService::new(cfg);
         let report = service.prepare("g", &input).unwrap();
         assert_eq!(report.shards, 4);
+        assert_eq!(report.combination_shards, 1);
         let requests = vec![input.x1.clone(); 3];
         let batch = service.serve("g", &requests).unwrap();
         let reference = GcnRunner::new(unsharded.config().clone())
@@ -375,6 +395,27 @@ mod tests {
             assert_eq!(r.outcome.output, reference.output);
         }
         assert!(batch.avg_utilization() > 0.0 && batch.avg_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn combination_sharded_service_serves_bit_identical_requests() {
+        use crate::config::ShardPolicy;
+        let (unsharded, input) = service_and_input(128, 27, 16);
+        let mut cfg = unsharded.config().clone();
+        cfg.shards = ShardPolicy::Fixed(2);
+        cfg.combination_shards = ShardPolicy::Fixed(3);
+        let mut service = GcnService::new(cfg);
+        let report = service.prepare("g", &input).unwrap();
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.combination_shards, 3);
+        let requests = vec![input.x1.clone(); 2];
+        let batch = service.serve("g", &requests).unwrap();
+        let reference = GcnRunner::new(unsharded.config().clone())
+            .run(&input)
+            .unwrap();
+        for r in &batch.requests {
+            assert_eq!(r.outcome.output, reference.output);
+        }
     }
 
     #[test]

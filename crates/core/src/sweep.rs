@@ -262,6 +262,29 @@ mod tests {
     }
 
     #[test]
+    fn combination_sharded_base_config_sweeps() {
+        // The combination-phase policy rides the base configuration too,
+        // so sweeping an X×W-sharded (or doubly sharded) deployment needs
+        // no dedicated plumbing either.
+        use crate::config::ShardPolicy;
+        let mut base = AccelConfig::paper_default();
+        base.shards = ShardPolicy::Fixed(2);
+        base.combination_shards = ShardPolicy::Fixed(2);
+        let points = DesignSweep::new()
+            .designs(vec![Design::LocalPlusRemote { hop: 1 }])
+            .pe_counts(vec![8, 16])
+            .base_config(base)
+            .run(&input())
+            .unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.cycles > 0);
+            assert!(p.warm_cycles > 0 && p.warm_cycles <= p.cycles);
+            assert!(p.utilization > 0.0 && p.utilization <= 1.0);
+        }
+    }
+
+    #[test]
     fn invalid_hop_rejected() {
         let res = DesignSweep::new()
             .designs(vec![Design::LocalSharing { hop: 9 }])

@@ -119,6 +119,21 @@ impl ColumnPartitioner {
         }
     }
 
+    /// True when partitioning `a` would yield at most one shard — the
+    /// degenerate case callers dispatch to an unsharded path without
+    /// paying the O(cols) partition/profile scan (the combination phase
+    /// re-derives its cut per layer per request, so this runs on the
+    /// serving hot path).
+    pub fn is_single(&self, a: &Csc) -> bool {
+        match self.target {
+            Target::Shards(n) => n.min(a.cols()) <= 1,
+            // One greedy budget fill covers all columns iff the whole
+            // matrix fits the budget (a single column is taken even when
+            // it alone exceeds it).
+            Target::MaxNnz(budget) => a.cols() <= 1 || a.nnz() <= budget,
+        }
+    }
+
     /// The shard boundaries and profiles for `a` (see the struct docs for
     /// the covering guarantees).
     pub fn partition(&self, a: &Csc) -> Vec<ColumnShard> {
@@ -167,12 +182,12 @@ fn split_by_shards(a: &Csc, k: usize) -> Vec<usize> {
     for i in 0..k - 1 {
         let target = (total * (i as u128 + 1) / k as u128) as usize;
         // Smallest boundary whose prefix reaches the target, capped so the
-        // remaining shards each keep at least one column.
+        // remaining shards each keep at least one column. `Col Ptr` is
+        // non-decreasing, so the boundary binary-searches in O(log cols)
+        // instead of scanning — the partition is re-derived per layer and
+        // per request on the combination side, where `X` can be wide.
         let max_hi = cols - (k - 1 - i);
-        let mut hi = lo + 1;
-        while hi < max_hi && ptr[hi] < target {
-            hi += 1;
-        }
+        let mut hi = lo + 1 + ptr[lo + 1..max_hi].partition_point(|&p| p < target);
         // Greedy refinement: stepping back one column may land closer.
         // (abs_diff: when the max_hi cap stopped the scan early, ptr[hi]
         // is still below the target and plain subtraction would underflow.)
@@ -326,6 +341,37 @@ mod tests {
         let shards = ColumnPartitioner::by_shards(3).partition(&zeros);
         assert_tiles(&shards, 7, 0);
         assert_eq!(shards.len(), 3);
+    }
+
+    #[test]
+    fn is_single_agrees_with_partition() {
+        let matrices = [
+            clustered(20),
+            clustered(6),
+            Csc::empty(4, 0),
+            Csc::empty(4, 7),
+            Csc::empty(4, 1),
+        ];
+        let partitioners = [
+            ColumnPartitioner::by_shards(1),
+            ColumnPartitioner::by_shards(2),
+            ColumnPartitioner::by_shards(64),
+            ColumnPartitioner::by_max_nnz(1),
+            ColumnPartitioner::by_max_nnz(12),
+            ColumnPartitioner::by_max_nnz(10_000),
+        ];
+        for a in &matrices {
+            for p in &partitioners {
+                assert_eq!(
+                    p.is_single(a),
+                    p.partition(a).len() <= 1,
+                    "{p:?} on {}x{} ({} nnz)",
+                    a.rows(),
+                    a.cols(),
+                    a.nnz()
+                );
+            }
+        }
     }
 
     #[test]

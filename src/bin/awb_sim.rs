@@ -3,10 +3,10 @@
 //! ```text
 //! awb-sim profile <dataset> [--scale F] [--seed N]
 //! awb-sim run     <dataset> [--design D] [--pes N] [--scale F] [--seed N] [--csv]
-//!                 [--shards S | --mem-budget MB]
+//!                 [--shards S] [--xw-shards S] [--mem-budget MB]
 //! awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
 //! awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N]
-//!                 [--shards S | --mem-budget MB] [--compare-cold]
+//!                 [--shards S] [--xw-shards S] [--mem-budget MB] [--compare-cold]
 //! awb-sim export  <dataset> <path.mtx> [--scale F] [--seed N]
 //! ```
 //!
@@ -15,9 +15,12 @@
 //! (plus remote switching), default `ls2+rs`. `serve` prepares the graph
 //! once (paying auto-tuning) and then serves batches of feature-matrix
 //! requests against the shared plan. `--shards S` partitions the graph
-//! into S nnz-balanced column shards (one rebalanced PE array each);
-//! `--mem-budget MB` instead derives the shard count from an on-chip
-//! memory budget of MB megabytes. Outputs are bit-identical either way.
+//! into S nnz-balanced column shards (one rebalanced PE array each) for
+//! the aggregation phase `A × (XW)`; `--xw-shards S` does the same for
+//! each layer's feature matrix in the combination phase `X × W`;
+//! `--mem-budget MB` instead derives *both* shard counts from an on-chip
+//! memory budget of MB megabytes per device (mutually exclusive with the
+//! fixed counts). Outputs are bit-identical in every combination.
 
 use std::error::Error;
 use std::process::ExitCode;
@@ -31,11 +34,11 @@ use awb_gcn_repro::sparse::profile::row_nnz_stats;
 const USAGE: &str = "usage:
   awb-sim profile <dataset> [--scale F] [--seed N]
   awb-sim run     <dataset> [--design D] [--pes N] [--scale F] [--seed N] [--csv]
-                  [--shards S | --mem-budget MB]
+                  [--shards S] [--xw-shards S] [--mem-budget MB]
   awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
   awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N]
-                  [--scale F] [--seed N] [--shards S | --mem-budget MB]
-                  [--compare-cold]
+                  [--scale F] [--seed N] [--shards S] [--xw-shards S]
+                  [--mem-budget MB] [--compare-cold]
   awb-sim export  <dataset> <path.mtx> [--scale F] [--seed N]
 
   <dataset>: cora | citeseer | pubmed | nell | reddit
@@ -45,9 +48,12 @@ const USAGE: &str = "usage:
   --seed:     generator seed                     (default 42)
   --threads:  host worker threads                (default AWB_THREADS/auto)
   --no-replay: disable the steady-state replay cache
-  --shards:   nnz-balanced column shards (>= 1)  (default unsharded)
-  --mem-budget: on-chip budget in MB per shard device; derives the shard
-                count instead of --shards (mutually exclusive)
+  --shards:   nnz-balanced column shards of A (>= 1) for the aggregation
+              phase A*(XW)                       (default unsharded)
+  --xw-shards: nnz-balanced column shards of each layer's X (>= 1) for
+              the combination phase X*W          (default unsharded)
+  --mem-budget: on-chip budget in MB per shard device; derives BOTH shard
+                counts (mutually exclusive with --shards/--xw-shards)
   serve options:
   --requests: feature-matrix requests to serve   (default 8)
   --batch:    batch size per serve() call        (default all requests)
@@ -94,6 +100,7 @@ struct Options {
     threads: Option<usize>,
     replay: bool,
     shards: Option<usize>,
+    xw_shards: Option<usize>,
     mem_budget_mb: Option<usize>,
     requests: usize,
     batch: Option<usize>,
@@ -112,6 +119,7 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     let mut threads = None;
     let mut replay = true;
     let mut shards = None;
+    let mut xw_shards = None;
     let mut mem_budget_mb = None;
     let mut requests = 8usize;
     let mut batch = None;
@@ -127,6 +135,7 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
             "--threads" => threads = Some(next_value(&mut it, "--threads")?.parse()?),
             "--no-replay" => replay = false,
             "--shards" => shards = Some(next_value(&mut it, "--shards")?.parse()?),
+            "--xw-shards" => xw_shards = Some(next_value(&mut it, "--xw-shards")?.parse()?),
             "--mem-budget" => mem_budget_mb = Some(next_value(&mut it, "--mem-budget")?.parse()?),
             "--requests" => requests = next_value(&mut it, "--requests")?.parse()?,
             "--batch" => batch = Some(next_value(&mut it, "--batch")?.parse()?),
@@ -150,11 +159,14 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     if shards == Some(0) {
         return Err("--shards must be >= 1".into());
     }
+    if xw_shards == Some(0) {
+        return Err("--xw-shards must be >= 1".into());
+    }
     if mem_budget_mb == Some(0) {
         return Err("--mem-budget must be >= 1 MB".into());
     }
-    if shards.is_some() && mem_budget_mb.is_some() {
-        return Err("--shards and --mem-budget are mutually exclusive".into());
+    if (shards.is_some() || xw_shards.is_some()) && mem_budget_mb.is_some() {
+        return Err("--shards/--xw-shards and --mem-budget are mutually exclusive".into());
     }
     Ok(Options {
         dataset: dataset.ok_or("missing <dataset>")?,
@@ -166,6 +178,7 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
         threads,
         replay,
         shards,
+        xw_shards,
         mem_budget_mb,
         requests,
         batch,
@@ -229,16 +242,21 @@ fn config_for(opts: &Options) -> Result<AccelConfig, Box<dyn Error>> {
     if let Some(shards) = opts.shards {
         builder.shards(ShardPolicy::Fixed(shards));
     }
+    if let Some(xw_shards) = opts.xw_shards {
+        builder.combination_shards(ShardPolicy::Fixed(xw_shards));
+    }
     let mut config = opts.design.apply(builder.build()?);
     if let Some(mb) = opts.mem_budget_mb {
-        // A finite per-device SPMMeM: shards are cut so each fits it, and
-        // the memory model throttles anything that still does not.
+        // A finite per-device SPMMeM: shards are cut so each operand slice
+        // fits it — on both phases' axes — and the memory model throttles
+        // anything that still does not.
         config.memory = awb_gcn_repro::hw::MemoryModel {
             on_chip_bytes: mb << 20,
             off_chip_bytes_per_cycle: awb_gcn_repro::hw::MemoryModel::vcu118()
                 .off_chip_bytes_per_cycle,
         };
         config.shards = ShardPolicy::MemoryBudget;
+        config.combination_shards = ShardPolicy::MemoryBudget;
     }
     Ok(config)
 }
@@ -299,6 +317,30 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
             config.shards.label(),
             nnz,
         );
+    }
+    if config.combination_shards != ShardPolicy::Single {
+        // Layer 1's X cut; later layers re-derive their own from each X.
+        // Mirror run_layers' dispatch: a 1-resolved policy executes on the
+        // plain engine, so report that instead of a sharded critical path.
+        let x1_csc = input.x1.to_csc();
+        let partitioner = config.combination_partitioner();
+        if partitioner.is_single(&x1_csc) {
+            println!(
+                "xw-sharding: {} resolves to a single device for X1 ({} nnz) — plain engine",
+                config.combination_shards.label(),
+                x1_csc.nnz(),
+            );
+        } else {
+            let shards = partitioner.partition(&x1_csc);
+            let nnz: Vec<usize> = shards.iter().map(|s| s.nnz).collect();
+            println!(
+                "xw-sharding: {} column shards of X1 ({}), per-shard nnz {:?}, X*W cycles are \
+                 the critical path over shard devices",
+                shards.len(),
+                config.combination_shards.label(),
+                nnz,
+            );
+        }
     }
     for spmm in outcome.stats.spmms() {
         println!(
@@ -375,13 +417,14 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut service = GcnService::new(config.clone());
     let report = service.prepare(spec.name.clone(), &input)?;
     println!(
-        "prepared {} ({} nodes, {} PEs, design {}, {} shard(s)): {} tuning rounds, \
-         {} rows switched, warm-up {} cycles ({:.3}s wall)",
+        "prepared {} ({} nodes, {} PEs, design {}, {} shard(s), {} X*W shard(s)): \
+         {} tuning rounds, {} rows switched, warm-up {} cycles ({:.3}s wall)",
         spec.name,
         spec.nodes,
         config.n_pes,
         opts.design.label(),
         report.shards,
+        report.combination_shards,
         report.tuning_rounds,
         report.total_switches,
         report.warmup.stats.total_cycles(),

@@ -231,6 +231,75 @@ fn serve_sharded_verifies_against_cold_runs() {
     );
 }
 
+/// Golden-structure test of combination-sharded serving: each request's
+/// `X × W` executes across 2 shard devices per layer, the prepare line
+/// reports both axes, and the CLI's cold comparison proves the merged
+/// outputs stay bit-identical.
+#[test]
+fn serve_xw_sharded_verifies_against_cold_runs() {
+    let out = awb_sim(&[
+        "serve",
+        "cora",
+        "--scale",
+        "0.1",
+        "--pes",
+        "16",
+        "--requests",
+        "3",
+        "--shards",
+        "2",
+        "--xw-shards",
+        "2",
+        "--seed",
+        "5",
+        "--compare-cold",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("2 shard(s), 2 X*W shard(s)"),
+        "missing shard counts in prepare line:\n{text}"
+    );
+    assert!(
+        text.contains("outputs bit-identical"),
+        "combination-sharded cold comparison failed:\n{text}"
+    );
+}
+
+#[test]
+fn run_xw_shards_reports_x1_sharding() {
+    let out = awb_sim(&[
+        "run",
+        "cora",
+        "--scale",
+        "0.1",
+        "--pes",
+        "16",
+        "--xw-shards",
+        "4",
+        "--seed",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("xw-sharding: 4 column shards of X1"),
+        "missing combination sharding report:\n{text}"
+    );
+    assert!(
+        !text.contains("sharding  :"),
+        "A-side sharding line must not appear unsharded:\n{text}"
+    );
+}
+
 #[test]
 fn run_mem_budget_reports_sharding() {
     let out = awb_sim(&[
@@ -289,9 +358,13 @@ fn bad_inputs_are_rejected() {
         &["serve", "cora", "--threads", "0"][..],
         &["serve", "cora", "--shards", "0"][..],
         &["run", "cora", "--shards", "0"][..],
+        &["run", "cora", "--xw-shards", "0"][..],
+        &["serve", "cora", "--xw-shards", "0"][..],
         &["run", "cora", "--mem-budget", "0"][..],
         &["run", "cora", "--shards", "2", "--mem-budget", "4"][..],
+        &["run", "cora", "--xw-shards", "2", "--mem-budget", "4"][..],
         &["run", "cora", "--shards"][..],
+        &["run", "cora", "--xw-shards"][..],
     ] {
         let out = awb_sim(args);
         assert!(!out.status.success(), "accepted: {args:?}");

@@ -107,6 +107,31 @@ fn batched_equals_sequential_on_shared_plan() {
 }
 
 #[test]
+fn combination_sharded_plan_requests_match_fresh_unsharded_runs() {
+    // Sharding the combination phase is invisible to the serving
+    // contract: warm requests on a doubly sharded plan are bit-identical
+    // to fresh *unsharded* runs on the same inputs.
+    use awb_gcn_repro::accel::ShardPolicy;
+    let (input, requests) = graph_and_requests();
+    let unsharded = config(32);
+    let mut cfg = unsharded.clone();
+    cfg.shards = ShardPolicy::Fixed(2);
+    cfg.combination_shards = ShardPolicy::Fixed(3);
+    let mut service = GcnService::new(cfg);
+    let report = service.prepare("graph", &input).unwrap();
+    assert_eq!(report.shards, 2);
+    assert_eq!(report.combination_shards, 3);
+    let batch = service.serve("graph", &requests).unwrap();
+    let reference = fresh_runs(&input, &requests, &unsharded);
+    for (served, fresh) in batch.requests.iter().zip(&reference) {
+        assert_eq!(served.outcome.output, fresh.output);
+        for layer in &served.outcome.stats.layers {
+            assert_eq!(layer.a_xw.tuning_rounds(), 0);
+        }
+    }
+}
+
+#[test]
 fn replay_hits_strictly_increase_across_requests() {
     let (input, _) = graph_and_requests();
     let (plan, _) = GcnRunner::new(config(32)).prepare(&input).unwrap();

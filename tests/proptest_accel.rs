@@ -171,6 +171,85 @@ proptest! {
         }
     }
 
+    /// The combination axis composes with the aggregation axis: for any
+    /// random graph, shard counts on *both* phases, and design point, the
+    /// 2-layer GCN run (cold and plan-served) is bit-identical to the
+    /// unsharded run — both merges are pinned, not approximately right.
+    #[test]
+    fn combination_and_aggregation_sharded_gcn_bit_identical(
+        a in sparse_strategy(40, 120),
+        a_shards in 1usize..4,
+        xw_shards in 1usize..6,
+        seed in 0u64..50,
+        design in design_strategy(),
+        n_pes_log in 2u32..4,
+    ) {
+        let n = a.rows();
+        let x1 = {
+            let mut coo = Coo::new(n, 5);
+            for v in 0..n {
+                coo.push(v, (v as u64 ^ seed) as usize % 5, ((v % 3) as f32) + 1.0).unwrap();
+            }
+            coo.to_csr()
+        };
+        let w1 = dense_for(5, 4, seed);
+        let w2 = dense_for(4, 3, seed ^ 0xabcd);
+        let input = GcnInput::from_parts(a.to_csr(), x1, vec![w1, w2]).unwrap();
+
+        let base = design.apply(
+            AccelConfig::builder().n_pes(1 << n_pes_log).build().unwrap(),
+        );
+        let reference = GcnRunner::new(base.clone()).run(&input).unwrap();
+
+        let mut cfg = base;
+        cfg.shards = ShardPolicy::Fixed(a_shards);
+        cfg.combination_shards = ShardPolicy::Fixed(xw_shards);
+        let runner = GcnRunner::new(cfg);
+        let cold = runner.run(&input).unwrap();
+        prop_assert_eq!(&cold.output, &reference.output);
+        prop_assert_eq!(cold.stats.total_tasks(), reference.stats.total_tasks());
+
+        let (plan, warmup) = runner.prepare(&input).unwrap();
+        prop_assert_eq!(&warmup.output, &reference.output);
+        let served = plan.run_input(&input).unwrap();
+        prop_assert_eq!(&served.output, &reference.output);
+        for layer in &served.stats.layers {
+            prop_assert_eq!(layer.a_xw.tuning_rounds(), 0);
+        }
+    }
+
+    /// Values-free (timing-only) execution — what shard members run — is
+    /// a pure numerics skip: whatever the operand, design, and thread
+    /// count, stats (rounds, queue high-water marks, replay counters) are
+    /// *identical* to a values-carrying run, and the returned `c` is
+    /// all-zeros.
+    #[test]
+    fn values_free_timing_matches_values_carrying(
+        a in sparse_strategy(48, 160),
+        cols in 1usize..5,
+        seed in 0u64..50,
+        design in design_strategy(),
+        n_pes_log in 2u32..5,
+    ) {
+        let b = dense_for(a.cols(), cols, seed);
+        let config = design.apply(
+            AccelConfig::builder().n_pes(1 << n_pes_log).build().unwrap(),
+        );
+        let mut carrying = FastEngine::new(config.clone());
+        let reference = carrying.run(&a, &b, "prop").unwrap();
+        let mut timing_only = FastEngine::new(config);
+        timing_only.set_values_enabled(false);
+        let out = timing_only.run(&a, &b, "prop").unwrap();
+        prop_assert_eq!(&out.stats, &reference.stats);
+        prop_assert_eq!(
+            &out.stats.queue_high_water,
+            &reference.stats.queue_high_water
+        );
+        prop_assert_eq!(timing_only.replay_hits(), carrying.replay_hits());
+        prop_assert_eq!(timing_only.replay_misses(), carrying.replay_misses());
+        prop_assert_eq!(&out.c, &DenseMatrix::zeros(a.rows(), cols));
+    }
+
     /// Remote switching may permute row ownership arbitrarily but must
     /// keep the map a partition.
     #[test]

@@ -132,6 +132,103 @@ fn sharded_stats_aggregate_honestly() {
     assert!(util > 0.0 && util <= 1.0);
 }
 
+/// Acceptance pin for the combination axis: with `X × W` sharded (alone
+/// and together with `A`-side sharding), cold, prepared-warm, and served
+/// outputs stay bit-identical to the unsharded path, the serving report
+/// carries both shard counts, and the merged `X × W` stats aggregate over
+/// the combination shard devices.
+#[test]
+fn combination_sharding_bit_identical_end_to_end() {
+    for dataset in [PaperDataset::Cora, PaperDataset::Nell] {
+        let scale = match dataset {
+            PaperDataset::Nell => 0.02,
+            _ => 0.08,
+        };
+        let spec = dataset.spec().scaled(scale);
+        let data = GeneratedDataset::generate(&spec, 13).unwrap();
+        let input = GcnInput::from_dataset(&data).unwrap();
+
+        let reference = GcnRunner::new(config(16, ShardPolicy::Single))
+            .run(&input)
+            .unwrap();
+
+        for (a_shards, xw_shards) in [(ShardPolicy::Single, 2), (ShardPolicy::Fixed(2), 4)] {
+            let mut cfg = config(16, a_shards);
+            cfg.combination_shards = ShardPolicy::Fixed(xw_shards);
+
+            let cold = GcnRunner::new(cfg.clone()).run(&input).unwrap();
+            assert_eq!(
+                cold.output,
+                reference.output,
+                "{}: cold output diverged at {xw_shards} X shards ({a_shards:?} A)",
+                dataset.name()
+            );
+            for (layer_s, layer_1) in cold.stats.layers.iter().zip(&reference.stats.layers) {
+                // Combination work is conserved across the X split, and
+                // the merged X×W view spans all combination devices.
+                assert_eq!(layer_s.xw.total_tasks(), layer_1.xw.total_tasks());
+                assert_eq!(layer_s.xw.n_pes, xw_shards * 16);
+                assert!(layer_s.xw.total_cycles() <= layer_1.xw.total_cycles());
+            }
+
+            let mut service = GcnService::new(cfg);
+            let report = service.prepare(dataset.name(), &input).unwrap();
+            assert_eq!(report.combination_shards, xw_shards);
+            let batch = service
+                .serve(dataset.name(), std::slice::from_ref(&input.x1))
+                .unwrap();
+            assert_eq!(
+                batch.requests[0].outcome.output,
+                reference.output,
+                "{}: served output diverged at {xw_shards} X shards",
+                dataset.name()
+            );
+        }
+    }
+}
+
+/// `--mem-budget`-style deployment: one on-chip budget derives the shard
+/// counts of *both* phases, every slice (A's and layer-1 X's) fits the
+/// budget, and outputs stay bit-identical.
+#[test]
+fn memory_budget_shards_both_phases() {
+    let spec = PaperDataset::Cora.spec().scaled(0.08);
+    let data = GeneratedDataset::generate(&spec, 23).unwrap();
+    let input = GcnInput::from_dataset(&data).unwrap();
+    let a_nnz = input.a_norm_csc.nnz();
+    let x1_nnz = input.x1.nnz();
+
+    let mut cfg = config(16, ShardPolicy::MemoryBudget);
+    cfg.combination_shards = ShardPolicy::MemoryBudget;
+    let budget_nnz = a_nnz.min(x1_nnz) / 2 + 1;
+    cfg.memory = MemoryModel {
+        on_chip_bytes: budget_nnz * BYTES_PER_NNZ,
+        off_chip_bytes_per_cycle: 280.0,
+    };
+    assert!(!cfg.memory.fits_on_chip(a_nnz));
+    assert!(!cfg.memory.fits_on_chip(x1_nnz));
+
+    let mut service = GcnService::new(cfg.clone());
+    let report = service.prepare("cora", &input).unwrap();
+    assert!(report.shards >= 2, "A must split, got {}", report.shards);
+    assert!(
+        report.combination_shards >= 2,
+        "X1 must split, got {}",
+        report.combination_shards
+    );
+    for shard in cfg.combination_partitioner().partition(&input.x1.to_csc()) {
+        assert!(shard.nnz <= budget_nnz, "X1 shard over budget: {shard:?}");
+    }
+
+    let batch = service
+        .serve("cora", std::slice::from_ref(&input.x1))
+        .unwrap();
+    let reference = GcnRunner::new(config(16, ShardPolicy::Single))
+        .run(&input)
+        .unwrap();
+    assert_eq!(batch.requests[0].outcome.output, reference.output);
+}
+
 /// Satellite pin of the external-graph path: a symmetric pattern adjacency
 /// survives `write_matrix_market` → `read_matrix_market` exactly, then
 /// feeds the partitioner and a sharded run whose output matches the
