@@ -12,8 +12,15 @@
 //! `"shards": 1`). A combination-shard axis (schema 4) records the
 //! Design-D point on the `X × W` workload (the Cora feature matrix times
 //! a dense weight block) across 2/4/8 shards; every record carries both
-//! `"shards"` and `"xw_shards"` and the compare gate matches on
-//! (design, replay, shards, xw_shards).
+//! `"shards"` and `"xw_shards"`. A serving record (schema 5, `"workload":
+//! "serve"`) measures the multi-tenant front-end end to end: a
+//! `GcnService` batch on a warm plan cache, recording requests/second
+//! plus p50/p95/p99 queue-wait and execute latency and the plan-cache
+//! hit/miss counters. Every record carries `"workload"` (`"spmm"` for the
+//! engine records) and the compare gate matches on (workload, design,
+//! replay, shards, xw_shards); serve records are excluded from the
+//! machine-speed geomean and only *warn* on throughput or p95 drift
+//! (end-to-end wall-clock is noisier than the kernel records).
 //!
 //! Usage:
 //!   cargo run --release -p awb_bench --example bench_smoke [-- --out PATH]
@@ -27,9 +34,12 @@
 //! regression in any matched (design, replay) record and warning (only)
 //! on replay hit-rate drift. CI runs write-then-check-then-compare.
 
-use awb_accel::{exec, AccelConfig, Design, FastEngine, ShardPolicy, ShardedEngine, SpmmEngine};
+use awb_accel::{
+    exec, AccelConfig, Design, FastEngine, GcnService, ShardPolicy, ShardedEngine, SpmmEngine,
+};
 use awb_bench::BENCH_SEED;
 use awb_datasets::{DatasetSpec, GeneratedDataset};
+use awb_gcn_model::GcnInput;
 use awb_sparse::{Csc, DenseMatrix};
 use std::time::Instant;
 
@@ -109,11 +119,13 @@ fn best_of_three<E: SmokeEngine>(make: impl Fn() -> E, a: &Csc, b: &DenseMatrix)
     m
 }
 
-/// The one record template (schema 4): both shard axes in every record.
+/// The engine record template (schema 5): both shard axes plus the
+/// workload discriminator in every record.
 fn record(design: Design, replay: bool, shards: usize, xw_shards: usize, m: &Measured) -> String {
     format!(
         "    {{\"dataset\": \"cora\", \"design\": \"{}\", \"replay\": {replay}, \
-         \"shards\": {shards}, \"xw_shards\": {xw_shards}, \"n_pes\": 1024, \"tasks\": {}, \
+         \"shards\": {shards}, \"xw_shards\": {xw_shards}, \"workload\": \"spmm\", \
+         \"n_pes\": 1024, \"tasks\": {}, \
          \"wall_s\": {:.6}, \"tasks_per_s\": {:.1}, \"replay_hits\": {}, \"replay_misses\": {}}}",
         design.label(),
         m.tasks,
@@ -121,6 +133,61 @@ fn record(design: Design, replay: bool, shards: usize, xw_shards: usize, m: &Mea
         m.tasks as f64 / m.wall_s,
         m.hits,
         m.misses
+    )
+}
+
+/// The serving record (schema 5): the multi-tenant front-end measured end
+/// to end on a warm plan cache. `tasks` is the request count and
+/// `tasks_per_s` is requests/second; the percentile fields are
+/// milliseconds.
+fn serve_record() -> String {
+    let design = Design::LocalPlusRemote { hop: 2 };
+    let data = GeneratedDataset::generate(&DatasetSpec::cora(), BENCH_SEED).expect("dataset");
+    let input = GcnInput::from_dataset(&data).expect("gcn input");
+    let config = design.apply(AccelConfig::builder().n_pes(1024).build().unwrap());
+    let requests: Vec<_> = (0..8)
+        .map(|i| {
+            if i == 0 {
+                input.x1.clone()
+            } else {
+                GeneratedDataset::with_adjacency(
+                    &data.spec,
+                    data.adjacency.clone(),
+                    BENCH_SEED + i as u64,
+                )
+                .expect("request features")
+                .features
+            }
+        })
+        .collect();
+    let mut service = GcnService::new(config);
+    // Warm batch pays the prepare (the cache miss); the timed batch runs
+    // on a warm cache — the steady serving state the record tracks.
+    service.serve_graph(&input, &requests).expect("warm batch");
+    let start = Instant::now();
+    let batch = service.serve_graph(&input, &requests).expect("timed batch");
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    let wait = batch.queue_wait_percentiles();
+    let exec_p = batch.execute_percentiles();
+    let stats = service.cache_stats();
+    format!(
+        "    {{\"dataset\": \"cora\", \"design\": \"{}\", \"replay\": true, \
+         \"shards\": 1, \"xw_shards\": 1, \"workload\": \"serve\", \"n_pes\": 1024, \
+         \"tasks\": {}, \"wall_s\": {wall_s:.6}, \"tasks_per_s\": {:.1}, \
+         \"p50_wait_ms\": {:.3}, \"p95_wait_ms\": {:.3}, \"p99_wait_ms\": {:.3}, \
+         \"p50_exec_ms\": {:.3}, \"p95_exec_ms\": {:.3}, \"p99_exec_ms\": {:.3}, \
+         \"cache_hits\": {}, \"cache_misses\": {}}}",
+        design.label(),
+        batch.requests.len(),
+        batch.requests.len() as f64 / wall_s,
+        wait.p50 * 1e3,
+        wait.p95 * 1e3,
+        wait.p99 * 1e3,
+        exec_p.p50 * 1e3,
+        exec_p.p95 * 1e3,
+        exec_p.p99 * 1e3,
+        stats.hits,
+        stats.misses
     )
 }
 
@@ -192,8 +259,12 @@ fn write_bench(path: &str) {
         records.push(record(design, true, 1, xw_shards, &m));
     }
 
+    // Serving axis (schema 5): the multi-tenant front-end on a warm plan
+    // cache — end-to-end requests/second plus latency percentiles.
+    records.push(serve_record());
+
     let json = format!(
-        "{{\n  \"schema\": 4,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
+        "{{\n  \"schema\": 5,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
          \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
         exec::num_threads(),
         records.join(",\n")
@@ -221,9 +292,11 @@ fn check(path: &str) {
         "\"design\"",
         "\"shards\"",
         "\"xw_shards\"",
+        "\"workload\"",
         "\"tasks\"",
         "\"wall_s\"",
         "\"tasks_per_s\"",
+        "\"p95_exec_ms\"",
     ] {
         if !text.contains(field) {
             eprintln!("BENCH check failed: {path} lacks required field {field}");
@@ -244,10 +317,15 @@ struct Record {
     /// Combination-side (X×W) column-shard devices (1 for records
     /// predating schema 4).
     xw_shards: u64,
+    /// `"spmm"` for the engine records, `"serve"` for the end-to-end
+    /// serving record (`"spmm"` for records predating schema 5).
+    workload: String,
     tasks_per_s: f64,
     /// Hit rate `hits / (hits + misses)`, None when the record predates
     /// schema 2 or no steady-state round consulted the cache.
     hit_rate: Option<f64>,
+    /// p95 execute latency in ms, serve records only (schema 5).
+    p95_exec_ms: Option<f64>,
 }
 
 /// Extracts the records of a bench file (one JSON object per line, as
@@ -287,8 +365,10 @@ fn parse_records(text: &str, path: &str) -> Vec<Record> {
             replay: replay == "true",
             shards,
             xw_shards,
+            workload: field("workload").unwrap_or("spmm").to_string(),
             tasks_per_s: tps.parse().unwrap_or(0.0),
             hit_rate,
+            p95_exec_ms: field("p95_exec_ms").and_then(|v| v.parse().ok()),
         });
     }
     records
@@ -298,12 +378,24 @@ fn parse_records(text: &str, path: &str) -> Vec<Record> {
 const REGRESSION_THRESHOLD: f64 = 0.20;
 /// Absolute hit-rate drift that triggers the (warn-only) notice.
 const HIT_RATE_DRIFT: f64 = 0.01;
+/// Normalized p95-execute-latency growth (serve records) that triggers
+/// the warn-only notice.
+const P95_DRIFT_RATIO: f64 = 1.5;
 
-/// Geometric mean of the records' throughputs — the run's "machine
-/// speed" scalar used to normalize before gating.
+/// Geometric mean of the *engine* records' throughputs — the run's
+/// "machine speed" scalar used to normalize before gating. Serve records
+/// are excluded: their requests/second live on a different scale than
+/// kernel tasks/second and would skew the normalizer.
 fn geomean_tps(records: &[Record]) -> f64 {
-    let logs: f64 = records.iter().map(|r| r.tasks_per_s.max(1e-9).ln()).sum();
-    (logs / records.len() as f64).exp()
+    let spmm: Vec<f64> = records
+        .iter()
+        .filter(|r| r.workload == "spmm")
+        .map(|r| r.tasks_per_s.max(1e-9).ln())
+        .collect();
+    if spmm.is_empty() {
+        return 1.0;
+    }
+    (spmm.iter().sum::<f64>() / spmm.len() as f64).exp()
 }
 
 /// Diffs `fresh` against `baseline`: exits non-zero when any matched
@@ -345,27 +437,37 @@ fn compare(fresh_path: &str, baseline_path: &str) {
                 && r.replay == base.replay
                 && r.shards == base.shards
                 && r.xw_shards == base.xw_shards
+                && r.workload == base.workload
         }) else {
             eprintln!(
-                "BENCH compare: baseline record ({}, replay={}, shards={}, xw_shards={}) \
-                 missing from fresh run (warn)",
-                base.design, base.replay, base.shards, base.xw_shards
+                "BENCH compare: baseline record ({}, replay={}, shards={}, xw_shards={}, \
+                 workload={}) missing from fresh run (warn)",
+                base.design, base.replay, base.shards, base.xw_shards, base.workload
             );
             continue;
         };
         matched += 1;
         let abs_ratio = now.tasks_per_s / base.tasks_per_s.max(1e-9);
         let norm_ratio = (now.tasks_per_s / fresh_mean) / (base.tasks_per_s / base_mean).max(1e-9);
+        // Serve records warn instead of failing: end-to-end wall-clock
+        // (queueing, threading) is far noisier than the kernel records
+        // the hard gate is tuned for.
+        let gated = base.workload == "spmm";
         let verdict = if norm_ratio < 1.0 - REGRESSION_THRESHOLD {
-            regressions += 1;
-            "REGRESSION"
+            if gated {
+                regressions += 1;
+                "REGRESSION"
+            } else {
+                "regression (warn-only: serve)"
+            }
         } else {
             "ok"
         };
         println!(
-            "{:<10} replay={:<5} shards={} xw={} {:>14.1} -> {:>14.1} tasks/s (abs {:+.1}%, \
-             normalized {:+.1}%) {verdict}",
+            "{:<10} {:<5} replay={:<5} shards={} xw={} {:>14.1} -> {:>14.1} tasks/s \
+             (abs {:+.1}%, normalized {:+.1}%) {verdict}",
             base.design,
+            base.workload,
             base.replay,
             base.shards,
             base.xw_shards,
@@ -374,6 +476,18 @@ fn compare(fresh_path: &str, baseline_path: &str) {
             (abs_ratio - 1.0) * 100.0,
             (norm_ratio - 1.0) * 100.0
         );
+        if let (Some(b), Some(n)) = (base.p95_exec_ms, now.p95_exec_ms) {
+            // Normalize by machine speed like throughput (latency scales
+            // inversely with speed).
+            let p95_ratio = (n * fresh_mean) / (b * base_mean).max(1e-9);
+            if p95_ratio > P95_DRIFT_RATIO {
+                eprintln!(
+                    "BENCH compare warning: ({}, workload={}) p95 execute latency grew \
+                     {b:.3} -> {n:.3} ms ({:.2}x normalized)",
+                    base.design, base.workload, p95_ratio
+                );
+            }
+        }
         if abs_ratio < 1.0 - REGRESSION_THRESHOLD && verdict == "ok" {
             eprintln!(
                 "BENCH compare warning: ({}, replay={}) absolute throughput dropped {:.1}% \

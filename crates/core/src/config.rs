@@ -275,6 +275,60 @@ impl Default for AccelConfig {
     }
 }
 
+/// Multi-tenant serving options for
+/// [`GcnService`](crate::serve::GcnService): the admission-queue depth and
+/// the plan-cache memory budget. Validated by
+/// [`GcnService::with_options`](crate::serve::GcnService::with_options)
+/// with the same zero-rejected rules as the shard policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Maximum queued (admitted but not yet drained) requests. Admission
+    /// past this depth is rejected with
+    /// [`AccelError::QueueFull`](crate::AccelError::QueueFull) — explicit
+    /// backpressure instead of unbounded growth. Must be ≥ 1.
+    pub queue_depth: usize,
+    /// Plan-cache memory budget in bytes, over
+    /// [`GcnPlan::memory_bytes`](crate::GcnPlan::memory_bytes) estimates.
+    /// Least-recently-used plans are evicted while the resident total
+    /// exceeds the budget (the most recent plan always stays resident,
+    /// even oversized — a budget smaller than one plan must not deadlock
+    /// serving). `None` disables eviction. `Some(0)` is rejected: use
+    /// `None` for "no budget".
+    pub cache_budget_bytes: Option<u64>,
+}
+
+impl ServeOptions {
+    /// Checks the zero-rejected rules (queue depth ≥ 1, budget ≥ 1 byte).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError`] describing the offending field.
+    pub fn validate(&self) -> Result<(), AccelError> {
+        if self.queue_depth == 0 {
+            return Err(AccelError::InvalidConfig(
+                "serve queue depth must be >= 1 (a zero-depth queue can never admit)".into(),
+            ));
+        }
+        if self.cache_budget_bytes == Some(0) {
+            return Err(AccelError::InvalidConfig(
+                "plan-cache budget must be >= 1 byte (use None for an unbounded cache)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServeOptions {
+    /// Depth 64 (explicit backpressure well before memory pressure),
+    /// unbounded plan cache.
+    fn default() -> Self {
+        ServeOptions {
+            queue_depth: 64,
+            cache_budget_bytes: None,
+        }
+    }
+}
+
 /// Builder for [`AccelConfig`].
 #[derive(Debug, Clone)]
 pub struct AccelConfigBuilder {

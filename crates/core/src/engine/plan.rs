@@ -141,6 +141,15 @@ impl TunedPlan {
         a.nnz() == self.nnz && structure_fingerprint(a) == self.fingerprint
     }
 
+    /// Estimated heap bytes this plan holds resident: the frozen row→PE
+    /// map (`u32` per row) plus the replay cache's memoized timings. The
+    /// serving front-end's plan-cache budget is derived from these
+    /// estimates (`DESIGN.md` §9); they track the dominant arrays, not
+    /// allocator-exact overheads.
+    pub fn memory_bytes(&self) -> u64 {
+        (std::mem::size_of_val(self.row_map.pe_of_row()) + self.cache.approx_bytes()) as u64
+    }
+
     /// Steady-state rounds served from the shared replay cache (summed
     /// over all sessions on this plan).
     pub fn replay_hits(&self) -> u64 {

@@ -489,6 +489,17 @@ impl ShardedPlan {
         self.shards.iter().map(|s| s.plan.replay_misses()).sum()
     }
 
+    /// Estimated heap bytes resident across all shards: each shard's
+    /// column-slice copy of the operand plus its frozen per-shard
+    /// [`TunedPlan`] (row map + replay cache). The sharded analogue of
+    /// [`TunedPlan::memory_bytes`].
+    pub fn memory_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.a.heap_bytes() as u64 + s.plan.memory_bytes())
+            .sum()
+    }
+
     /// Opens a per-request execution session against this plan.
     pub fn session(&self) -> ShardedSession<'_> {
         ShardedSession {

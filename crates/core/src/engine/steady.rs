@@ -250,14 +250,12 @@ pub(crate) fn accumulate_round(a: &Csc, cols: &[u32], vals: &[f32], acc: &mut [f
 }
 
 /// Writes the non-zero entries of a column accumulator into `c[:, k]`,
-/// resetting the accumulator for reuse.
+/// resetting the accumulator for reuse. Delegates to the shared sparse
+/// kernel so the engine's emit/reset semantics (unconditional reset — a
+/// `-0.0` cancellation residue must not leak across round-columns) can
+/// never drift from the reference kernels'.
 pub(crate) fn emit_column(c: &mut DenseMatrix, k: usize, acc: &mut [f32]) {
-    for (row, v) in acc.iter_mut().enumerate() {
-        if *v != 0.0 {
-            c.set(row, k, *v);
-            *v = 0.0;
-        }
-    }
+    awb_sparse::spmm::drain_column_into(c, k, acc);
 }
 
 /// Computes every output column of `C = A × B` through the shared
@@ -360,6 +358,22 @@ impl ReplayCache {
     /// Cached distinct patterns.
     pub(crate) fn len(&self) -> usize {
         self.timings.read().expect("cache lock").len()
+    }
+
+    /// Approximate heap bytes held by the memoized timings: per entry, the
+    /// key's pattern (`u32` per non-zero position), the per-PE queue
+    /// high-water vector (`u32` per PE), and the fixed `RoundTiming`
+    /// scalars. An estimate for plan-cache memory budgeting, not an
+    /// allocator-exact figure.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        let timings = self.timings.read().expect("cache lock");
+        timings
+            .iter()
+            .map(|(key, timing)| {
+                (key.len() + timing.queue_high_water.len()) * std::mem::size_of::<u32>()
+                    + std::mem::size_of::<RoundTiming>()
+            })
+            .sum()
     }
 }
 

@@ -19,6 +19,13 @@ pub enum AccelError {
         /// Largest absolute difference observed.
         max_diff: String,
     },
+    /// The serving front-end's admission queue is at its configured depth
+    /// — explicit backpressure instead of unbounded growth. The caller
+    /// should drain the queue (or raise the depth) and retry.
+    QueueFull {
+        /// The configured admission-queue depth that was hit.
+        depth: usize,
+    },
 }
 
 impl fmt::Display for AccelError {
@@ -29,6 +36,11 @@ impl fmt::Display for AccelError {
             AccelError::VerificationFailed { label, max_diff } => write!(
                 f,
                 "functional verification failed for {label}: max diff {max_diff}"
+            ),
+            AccelError::QueueFull { depth } => write!(
+                f,
+                "admission queue full (depth {depth}): request rejected — drain the queue or \
+                 raise ServeOptions::queue_depth"
             ),
         }
     }
@@ -60,6 +72,8 @@ mod tests {
         let e: AccelError = SparseError::MalformedFormat("x".into()).into();
         assert!(e.to_string().contains("shape error"));
         assert!(e.source().is_some());
+        let e = AccelError::QueueFull { depth: 64 };
+        assert!(e.to_string().contains("admission queue full (depth 64)"));
     }
 
     #[test]

@@ -277,6 +277,13 @@ impl APlan {
             APlan::Sharded(plan) => plan.replay_misses(),
         }
     }
+
+    fn memory_bytes(&self) -> u64 {
+        match self {
+            APlan::Single(plan) => plan.memory_bytes(),
+            APlan::Sharded(plan) => plan.memory_bytes(),
+        }
+    }
 }
 
 /// A prepared per-graph inference plan: everything that is a function of
@@ -362,6 +369,18 @@ impl GcnPlan {
     /// Steady-state rounds that had to be simulated (and were memoized).
     pub fn replay_misses(&self) -> u64 {
         self.a_plan.replay_misses()
+    }
+
+    /// Estimated heap bytes this plan keeps resident while cached: the
+    /// normalized adjacency (CSC arrays), the layer weights, and the
+    /// frozen `A`-side tuning state (row map(s) + replay cache(s), plus
+    /// per-shard operand slices when sharded). The serving front-end
+    /// evicts against a budget over these estimates — they track the
+    /// dominant arrays, not allocator-exact overheads, which is all a
+    /// relative LRU budget needs.
+    pub fn memory_bytes(&self) -> u64 {
+        let weights: u64 = self.weights.iter().map(|w| w.heap_bytes() as u64).sum();
+        self.a_norm_csc.heap_bytes() as u64 + weights + self.a_plan.memory_bytes()
     }
 
     /// True when `input` carries the same graph (by structure fingerprint)

@@ -71,7 +71,8 @@ pub mod trace;
 
 pub use area::{AreaBreakdown, AreaModel};
 pub use config::{
-    AccelConfig, AccelConfigBuilder, Design, MappingKind, ShardPolicy, SltPolicy, StallMode,
+    AccelConfig, AccelConfigBuilder, Design, MappingKind, ServeOptions, ShardPolicy, SltPolicy,
+    StallMode,
 };
 pub use energy::{cycles_to_ms, EnergyModel};
 pub use engine::{
@@ -83,6 +84,8 @@ pub use exec::{num_threads, par_map, par_map_threads};
 pub use gcn_run::{verify_against_reference, GcnPlan, GcnRunOutcome, GcnRunner};
 pub use mapping::RowMap;
 pub use rebalance::{AutoTuner, LocalSharing, RemoteSwitcher, RoundProfile, SwitchPlan};
-pub use serve::{BatchOutcome, GcnService, PrepareReport, RequestOutcome};
+pub use serve::{
+    BatchOutcome, CacheStats, GcnService, LatencyPercentiles, PrepareReport, RequestOutcome,
+};
 pub use stats::{LayerStats, RoundStats, RunStats, SpmmStats};
 pub use sweep::{sweep_csv, DesignSweep, SweepPoint};

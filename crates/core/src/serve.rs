@@ -1,27 +1,51 @@
-//! Batched multi-request serving front-end over prepared per-graph plans.
+//! Multi-tenant serving front-end: admission queue, cross-graph LRU plan
+//! cache, and batched execution over prepared per-graph plans.
 //!
 //! The ROADMAP's north star is a production-scale system serving heavy
-//! traffic on *fixed graphs*: the graph (and model weights) change rarely,
-//! feature-matrix requests arrive constantly. [`GcnService`] is that
-//! shape made concrete — [`prepare`](GcnService::prepare) pays auto-tuning
-//! and replay-cache warm-up once per graph, and
-//! [`serve`](GcnService::serve) fans request batches out over the
-//! [`exec`](crate::exec) substrate against the shared [`GcnPlan`], with
-//! deterministic ordering (`results[i]` always belongs to `requests[i]`,
-//! at any thread count) and per-request latency plus aggregate
-//! throughput/utilization reporting.
+//! traffic on *fixed graphs*: graphs (and model weights) change rarely,
+//! feature-matrix requests arrive constantly — and in a multi-tenant
+//! deployment many graphs share one accelerator. [`GcnService`] is that
+//! shape made concrete, in three tiers:
 //!
-//! Outputs are bit-identical to independent cold [`GcnRunner::run`] calls
-//! on the same inputs; only the *cost* differs (no per-request tuning, the
-//! replay cache is warm from request 1).
+//! * **Named plans** — [`prepare`](GcnService::prepare) pays auto-tuning
+//!   once per graph and stores the [`GcnPlan`] under a name;
+//!   [`serve`](GcnService::serve) fans request batches out over the
+//!   [`exec`](crate::exec) substrate against the shared plan.
+//! * **Fingerprint-keyed plan cache** —
+//!   [`serve_graph`](GcnService::serve_graph) keys plans on the graph's
+//!   sparsity fingerprint instead of a name: prepare-on-miss, LRU
+//!   eviction under the [`ServeOptions::cache_budget_bytes`] budget
+//!   (derived from [`GcnPlan::memory_bytes`] estimates). A cached plan is
+//!   only reused when [`GcnPlan::matches`] confirms graph *and* weights —
+//!   a mutated tenant graph is a well-defined miss (re-prepare), never a
+//!   stale plan.
+//! * **Admission queue** — [`enqueue`](GcnService::enqueue) admits
+//!   requests up to [`ServeOptions::queue_depth`] and rejects beyond it
+//!   with [`AccelError::QueueFull`] (explicit backpressure);
+//!   [`drain`](GcnService::drain) executes everything admitted as one
+//!   deterministic batch.
+//!
+//! Every batch reports per-request latency split into *queue-wait* (from
+//! admission to a worker picking the request up) and *execute* (the
+//! simulation itself), with p50/p95/p99 percentiles over both — see
+//! [`BatchOutcome::queue_wait_percentiles`] /
+//! [`BatchOutcome::execute_percentiles`].
+//!
+//! Results keep request order (`results[i]` always belongs to
+//! `requests[i]`, at any thread count) and outputs are bit-identical to
+//! independent cold [`GcnRunner::run`] calls on the same inputs; only the
+//! *cost* differs (no per-request tuning, the replay cache is warm from
+//! request 1).
 
-use crate::config::AccelConfig;
+use crate::config::{AccelConfig, ServeOptions};
+use crate::engine::steady::structure_fingerprint;
 use crate::error::AccelError;
 use crate::exec;
 use crate::gcn_run::{GcnPlan, GcnRunOutcome, GcnRunner};
 use awb_gcn_model::GcnInput;
 use awb_sparse::Csr;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Report of one graph-preparation (warm-up) pass.
@@ -59,6 +83,53 @@ pub struct RequestOutcome {
     pub outcome: GcnRunOutcome,
     /// Host wall-clock spent simulating this request, in seconds.
     pub wall_s: f64,
+    /// Host wall-clock the request waited before a worker picked it up,
+    /// in seconds: from admission ([`GcnService::enqueue`]) or batch
+    /// start ([`GcnService::serve`]) to execution start.
+    pub queue_wait_s: f64,
+}
+
+/// p50/p95/p99 of a latency sample set, in seconds (nearest-rank).
+///
+/// Degenerate inputs are guarded: an empty sample set yields all-zero
+/// percentiles, non-finite or negative samples are dropped before
+/// ranking — a percentile can never be NaN/inf, so reports and bench
+/// records stay aggregatable.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyPercentiles {
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl LatencyPercentiles {
+    /// Computes nearest-rank percentiles over `samples` (any order;
+    /// non-finite and negative entries are dropped, see type docs).
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut clean: Vec<f64> = samples
+            .into_iter()
+            .filter(|s| s.is_finite() && *s >= 0.0)
+            .collect();
+        clean.sort_by(f64::total_cmp);
+        LatencyPercentiles {
+            p50: nearest_rank(&clean, 50.0),
+            p95: nearest_rank(&clean, 95.0),
+            p99: nearest_rank(&clean, 99.0),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted, finite sample set
+/// (0.0 when empty).
+fn nearest_rank(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 /// A served batch: per-request outcomes in request order plus aggregate
@@ -114,6 +185,17 @@ impl BatchOutcome {
         self.requests.len() as f64 / self.wall_s
     }
 
+    /// p50/p95/p99 of per-request host execution wall-clock, in seconds.
+    pub fn execute_percentiles(&self) -> LatencyPercentiles {
+        LatencyPercentiles::from_samples(self.requests.iter().map(|r| r.wall_s))
+    }
+
+    /// p50/p95/p99 of per-request queue wait, in seconds (see
+    /// [`RequestOutcome::queue_wait_s`]).
+    pub fn queue_wait_percentiles(&self) -> LatencyPercentiles {
+        LatencyPercentiles::from_samples(self.requests.iter().map(|r| r.queue_wait_s))
+    }
+
     /// Average simulated PE utilization over all requests (weighted by
     /// each request's busy/denominator, like [`RunStats::avg_utilization`]
     /// (crate::RunStats::avg_utilization)).
@@ -133,6 +215,42 @@ impl BatchOutcome {
     }
 }
 
+/// Aggregate counters of the fingerprint-keyed plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served by a resident, still-matching plan.
+    pub hits: u64,
+    /// Lookups that had to prepare (absent, or resident-but-mismatched —
+    /// e.g. a tenant mutated weights under an unchanged graph structure).
+    pub misses: u64,
+    /// Plans dropped by LRU budget eviction or replaced by a re-prepare.
+    pub evictions: u64,
+    /// Estimated bytes currently resident ([`GcnPlan::memory_bytes`] sum).
+    pub resident_bytes: u64,
+    /// Plans currently resident.
+    pub resident_plans: usize,
+}
+
+/// One resident plan-cache entry.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    plan: Arc<GcnPlan>,
+    bytes: u64,
+    /// LRU stamp: the service's logical clock at last use.
+    last_use: u64,
+}
+
+/// One admitted, not-yet-drained request.
+#[derive(Debug, Clone)]
+struct QueuedRequest {
+    /// Resolved at admission (prepare-on-miss happens in `enqueue`, so
+    /// `drain` is pure execution). The `Arc` keeps the plan alive even if
+    /// the cache evicts it while the request waits.
+    plan: Arc<GcnPlan>,
+    x1: Csr,
+    enqueued: Instant,
+}
+
 /// A serving front-end holding prepared per-graph plans (see module docs).
 ///
 /// # Example
@@ -148,32 +266,65 @@ impl BatchOutcome {
 /// let config = Design::LocalPlusRemote { hop: 1 }.apply(AccelConfig::builder().n_pes(16).build()?);
 ///
 /// let mut service = GcnService::new(config);
-/// service.prepare("cora", &input)?;          // pay tuning once
-/// let requests = vec![input.x1.clone(); 4];  // …then serve a batch
-/// let batch = service.serve("cora", &requests)?;
+/// // Multi-tenant path: plans are cached on the graph's fingerprint —
+/// // the first batch prepares, later batches on the same graph hit.
+/// let requests = vec![input.x1.clone(); 4];
+/// let batch = service.serve_graph(&input, &requests)?;
 /// assert_eq!(batch.requests.len(), 4);
-/// assert!(batch.avg_utilization() > 0.0);
+/// assert_eq!(service.cache_stats().misses, 1);
+/// let p = batch.execute_percentiles();
+/// assert!(p.p50 <= p.p99);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct GcnService {
     config: AccelConfig,
+    options: ServeOptions,
     graphs: HashMap<String, GcnPlan>,
+    /// Fingerprint-keyed plan cache (see module docs).
+    cache: HashMap<u64, CacheEntry>,
+    /// Logical clock for LRU stamps (monotone per service).
+    lru_clock: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    queue: VecDeque<QueuedRequest>,
 }
 
 impl GcnService {
-    /// Creates an empty service with the given accelerator configuration.
+    /// Creates an empty service with the given accelerator configuration
+    /// and default [`ServeOptions`].
     pub fn new(config: AccelConfig) -> Self {
         GcnService {
             config,
-            graphs: HashMap::new(),
+            ..GcnService::default()
         }
+    }
+
+    /// Creates an empty service with explicit [`ServeOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] when the options violate the
+    /// zero-rejected rules (see [`ServeOptions::validate`]).
+    pub fn with_options(config: AccelConfig, options: ServeOptions) -> Result<Self, AccelError> {
+        options.validate()?;
+        Ok(GcnService {
+            config,
+            options,
+            ..GcnService::default()
+        })
     }
 
     /// The configuration new plans are prepared under.
     pub fn config(&self) -> &AccelConfig {
         &self.config
+    }
+
+    /// The serving options (queue depth, cache budget).
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
     }
 
     /// Prepares (or re-prepares) a graph: runs one warm-up inference on
@@ -231,6 +382,178 @@ impl GcnService {
         self.graphs.remove(name).is_some()
     }
 
+    /// Aggregate plan-cache counters (hits/misses/evictions plus the
+    /// current residency footprint).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits,
+            misses: self.cache_misses,
+            evictions: self.cache_evictions,
+            resident_bytes: self.cache.values().map(|e| e.bytes).sum(),
+            resident_plans: self.cache.len(),
+        }
+    }
+
+    /// The cached plan for `input`'s graph, if resident and still
+    /// matching (does not touch LRU order or counters).
+    pub fn cached_plan(&self, input: &GcnInput) -> Option<Arc<GcnPlan>> {
+        let key = structure_fingerprint(&input.a_norm_csc);
+        self.cache
+            .get(&key)
+            .filter(|e| e.plan.matches(input))
+            .map(|e| Arc::clone(&e.plan))
+    }
+
+    /// Resolves `input`'s plan through the fingerprint-keyed cache:
+    /// a resident plan that still [`matches`](GcnPlan::matches) is a hit;
+    /// anything else (absent, or resident-but-mismatched — weights changed
+    /// under an unchanged structure, or a fingerprint collision) is a miss
+    /// that prepares a fresh plan, replaces the stale entry, and then
+    /// evicts least-recently-used plans while the resident total exceeds
+    /// the budget. The returned plan itself is never evicted by its own
+    /// insertion (a budget smaller than one plan keeps exactly that plan).
+    fn lookup_or_prepare(&mut self, input: &GcnInput) -> Result<Arc<GcnPlan>, AccelError> {
+        let key = structure_fingerprint(&input.a_norm_csc);
+        self.lru_clock += 1;
+        if let Some(entry) = self.cache.get_mut(&key) {
+            if entry.plan.matches(input) {
+                entry.last_use = self.lru_clock;
+                self.cache_hits += 1;
+                return Ok(Arc::clone(&entry.plan));
+            }
+        }
+        self.cache_misses += 1;
+        let (plan, _warmup) = GcnRunner::new(self.config.clone()).prepare(input)?;
+        let plan = Arc::new(plan);
+        let entry = CacheEntry {
+            plan: Arc::clone(&plan),
+            bytes: plan.memory_bytes(),
+            last_use: self.lru_clock,
+        };
+        if self.cache.insert(key, entry).is_some() {
+            // Replacing a stale same-fingerprint entry evicts it.
+            self.cache_evictions += 1;
+        }
+        self.evict_over_budget(key);
+        Ok(plan)
+    }
+
+    /// Evicts least-recently-used entries (never `keep`) while the
+    /// resident estimate exceeds the configured budget.
+    fn evict_over_budget(&mut self, keep: u64) {
+        let Some(budget) = self.options.cache_budget_bytes else {
+            return;
+        };
+        loop {
+            let resident: u64 = self.cache.values().map(|e| e.bytes).sum();
+            if resident <= budget {
+                return;
+            }
+            let victim = self
+                .cache
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else {
+                // Only the just-used plan remains; an oversized single
+                // plan stays resident (documented on ServeOptions).
+                return;
+            };
+            self.cache.remove(&victim);
+            self.cache_evictions += 1;
+        }
+    }
+
+    /// Serves a batch of feature-matrix requests for `input`'s graph
+    /// through the fingerprint-keyed plan cache (prepare-on-miss — no
+    /// explicit [`prepare`](GcnService::prepare) call needed), fanning
+    /// requests out like [`serve`](GcnService::serve).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/shape errors from a cache-miss warm-up or
+    /// from the requests.
+    pub fn serve_graph(
+        &mut self,
+        input: &GcnInput,
+        requests: &[Csr],
+    ) -> Result<BatchOutcome, AccelError> {
+        let plan = self.lookup_or_prepare(input)?;
+        serve_on_plan(&plan, requests)
+    }
+
+    /// Admits one request to the queue, resolving its plan through the
+    /// cache (prepare-on-miss happens here, at admission, so
+    /// [`drain`](GcnService::drain) is pure execution and its queue-wait
+    /// numbers measure queueing, not tuning). Returns the request's queue
+    /// position. The admitted request holds its resolved plan: a later
+    /// eviction or re-prepare never retroactively changes what an
+    /// already-admitted request runs against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::QueueFull`] when the queue is at
+    /// [`ServeOptions::queue_depth`] (the request is NOT admitted);
+    /// propagates warm-up errors from a cache miss.
+    pub fn enqueue(&mut self, input: &GcnInput, x1: Csr) -> Result<usize, AccelError> {
+        if self.queue.len() >= self.options.queue_depth {
+            return Err(AccelError::QueueFull {
+                depth: self.options.queue_depth,
+            });
+        }
+        let plan = self.lookup_or_prepare(input)?;
+        self.queue.push_back(QueuedRequest {
+            plan,
+            x1,
+            enqueued: Instant::now(),
+        });
+        Ok(self.queue.len() - 1)
+    }
+
+    /// Admitted requests currently waiting for [`drain`](GcnService::drain).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Executes every admitted request as one batch over the [`exec`]
+    /// substrate, emptying the queue. Results keep admission order at any
+    /// thread count; each request's `queue_wait_s` spans admission to
+    /// execution start. An empty queue yields an empty (guarded) batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-request error (the queue is emptied
+    /// either way — admitted work is never silently re-run).
+    pub fn drain(&mut self) -> Result<BatchOutcome, AccelError> {
+        let admitted: Vec<QueuedRequest> = self.queue.drain(..).collect();
+        let threads = self.config.threads.unwrap_or_else(exec::num_threads);
+        let start = Instant::now();
+        let results = exec::par_map_threads(threads, &admitted, |q| {
+            let exec_start = Instant::now();
+            let wait = exec_start.duration_since(q.enqueued).as_secs_f64();
+            q.plan
+                .run(&q.x1)
+                .map(|outcome| (outcome, wait, exec_start.elapsed().as_secs_f64()))
+        });
+        let wall_s = start.elapsed().as_secs_f64();
+        let mut outcomes = Vec::with_capacity(results.len());
+        for (index, result) in results.into_iter().enumerate() {
+            let (outcome, queue_wait_s, req_wall) = result?;
+            outcomes.push(RequestOutcome {
+                index,
+                outcome,
+                wall_s: req_wall,
+                queue_wait_s,
+            });
+        }
+        Ok(BatchOutcome {
+            requests: outcomes,
+            wall_s,
+            freq_mhz: self.config.freq_mhz,
+        })
+    }
+
     /// Serves a batch of feature-matrix requests against the prepared
     /// plan for `graph`, fanning requests out over the [`exec`] substrate.
     /// Results keep request order at any thread count; each request's
@@ -247,29 +570,38 @@ impl GcnService {
                 self.graph_names()
             ))
         })?;
-        let threads = plan.config().threads.unwrap_or_else(exec::num_threads);
-        let start = Instant::now();
-        let results = exec::par_map_threads(threads, requests, |x1| {
-            let t = Instant::now();
-            plan.run(x1)
-                .map(|outcome| (outcome, t.elapsed().as_secs_f64()))
-        });
-        let wall_s = start.elapsed().as_secs_f64();
-        let mut outcomes = Vec::with_capacity(results.len());
-        for (index, result) in results.into_iter().enumerate() {
-            let (outcome, req_wall) = result?;
-            outcomes.push(RequestOutcome {
-                index,
-                outcome,
-                wall_s: req_wall,
-            });
-        }
-        Ok(BatchOutcome {
-            requests: outcomes,
-            wall_s,
-            freq_mhz: plan.config().freq_mhz,
-        })
+        serve_on_plan(plan, requests)
     }
+}
+
+/// The shared batch executor: fans `requests` out over the [`exec`]
+/// substrate against one plan, recording per-request queue-wait (batch
+/// start → worker pickup) and execute wall-clock.
+fn serve_on_plan(plan: &GcnPlan, requests: &[Csr]) -> Result<BatchOutcome, AccelError> {
+    let threads = plan.config().threads.unwrap_or_else(exec::num_threads);
+    let start = Instant::now();
+    let results = exec::par_map_threads(threads, requests, |x1| {
+        let exec_start = Instant::now();
+        let wait = exec_start.duration_since(start).as_secs_f64();
+        plan.run(x1)
+            .map(|outcome| (outcome, wait, exec_start.elapsed().as_secs_f64()))
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let mut outcomes = Vec::with_capacity(results.len());
+    for (index, result) in results.into_iter().enumerate() {
+        let (outcome, queue_wait_s, req_wall) = result?;
+        outcomes.push(RequestOutcome {
+            index,
+            outcome,
+            wall_s: req_wall,
+            queue_wait_s,
+        });
+    }
+    Ok(BatchOutcome {
+        requests: outcomes,
+        wall_s,
+        freq_mhz: plan.config().freq_mhz,
+    })
 }
 
 #[cfg(test)]
@@ -374,6 +706,154 @@ mod tests {
         assert_eq!(empty.mean_wall_s(), 0.0);
         assert_eq!(empty.throughput_rps(), 0.0);
         assert_eq!(empty.avg_utilization(), 0.0);
+        assert_eq!(empty.execute_percentiles(), LatencyPercentiles::default());
+        assert_eq!(
+            empty.queue_wait_percentiles(),
+            LatencyPercentiles::default()
+        );
+    }
+
+    #[test]
+    fn percentiles_guard_degenerate_samples() {
+        // Empty -> all zero.
+        let p = LatencyPercentiles::from_samples(std::iter::empty());
+        assert_eq!((p.p50, p.p95, p.p99), (0.0, 0.0, 0.0));
+        // Single sample -> every percentile is that sample.
+        let p = LatencyPercentiles::from_samples([0.25]);
+        assert_eq!((p.p50, p.p95, p.p99), (0.25, 0.25, 0.25));
+        // Non-finite and negative samples are dropped, not propagated.
+        let p = LatencyPercentiles::from_samples([f64::NAN, f64::INFINITY, -1.0, 2.0]);
+        assert_eq!((p.p50, p.p95, p.p99), (2.0, 2.0, 2.0));
+        assert!(p.p50.is_finite() && p.p95.is_finite() && p.p99.is_finite());
+        // All-degenerate input degrades to the empty guard.
+        let p = LatencyPercentiles::from_samples([f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!((p.p50, p.p95, p.p99), (0.0, 0.0, 0.0));
+        // Nearest-rank on a known ladder: p50 of 1..=100 is 50, p95 is
+        // 95, p99 is 99.
+        let p = LatencyPercentiles::from_samples((1..=100).map(|i| i as f64));
+        assert_eq!((p.p50, p.p95, p.p99), (50.0, 95.0, 99.0));
+        // Percentiles are monotone.
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+        // Near-zero wall: a batch whose requests all ran in ~0s stays
+        // finite and ordered.
+        let p = LatencyPercentiles::from_samples([0.0, 0.0, 1e-12]);
+        assert!(p.p50 >= 0.0 && p.p99.is_finite());
+    }
+
+    #[test]
+    fn batch_percentiles_cover_wait_and_execute() {
+        let (mut service, input) = service_and_input(96, 28, 8);
+        let requests = vec![input.x1.clone(); 5];
+        let batch = service.serve_graph(&input, &requests).unwrap();
+        let exec_p = batch.execute_percentiles();
+        assert!(exec_p.p50 > 0.0, "execution takes nonzero wall-clock");
+        assert!(exec_p.p50 <= exec_p.p95 && exec_p.p95 <= exec_p.p99);
+        let wait_p = batch.queue_wait_percentiles();
+        assert!(wait_p.p50 >= 0.0 && wait_p.p99.is_finite());
+        for r in &batch.requests {
+            assert!(r.queue_wait_s >= 0.0 && r.queue_wait_s.is_finite());
+        }
+    }
+
+    #[test]
+    fn serve_options_validation() {
+        let cfg = AccelConfig::builder().n_pes(8).build().unwrap();
+        assert!(matches!(
+            GcnService::with_options(
+                cfg.clone(),
+                ServeOptions {
+                    queue_depth: 0,
+                    cache_budget_bytes: None
+                }
+            ),
+            Err(AccelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            GcnService::with_options(
+                cfg.clone(),
+                ServeOptions {
+                    queue_depth: 4,
+                    cache_budget_bytes: Some(0)
+                }
+            ),
+            Err(AccelError::InvalidConfig(_))
+        ));
+        let service = GcnService::with_options(
+            cfg,
+            ServeOptions {
+                queue_depth: 4,
+                cache_budget_bytes: Some(1 << 20),
+            },
+        )
+        .unwrap();
+        assert_eq!(service.options().queue_depth, 4);
+    }
+
+    #[test]
+    fn cache_hit_and_miss_counters_track_lookups() {
+        let (mut service, input) = service_and_input(96, 26, 8);
+        assert_eq!(service.cache_stats(), CacheStats::default());
+        service
+            .serve_graph(&input, std::slice::from_ref(&input.x1))
+            .unwrap();
+        let s = service.cache_stats();
+        assert_eq!((s.hits, s.misses, s.resident_plans), (0, 1, 1));
+        assert!(s.resident_bytes > 0, "plan size estimate is nonzero");
+        service
+            .serve_graph(&input, std::slice::from_ref(&input.x1))
+            .unwrap();
+        let s = service.cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+        assert!(service.cached_plan(&input).is_some());
+    }
+
+    #[test]
+    fn queue_backpressure_rejects_then_drains_in_order() {
+        let cfg = Design::LocalPlusRemote { hop: 1 }
+            .apply(AccelConfig::builder().n_pes(8).build().unwrap());
+        let (_, input) = service_and_input(96, 27, 8);
+        let mut service = GcnService::with_options(
+            cfg,
+            ServeOptions {
+                queue_depth: 3,
+                cache_budget_bytes: None,
+            },
+        )
+        .unwrap();
+        let requests: Vec<Csr> = (0..3)
+            .map(|i| {
+                GeneratedDataset::with_adjacency(
+                    &DatasetSpec::cora().with_nodes(96),
+                    input.a_norm.clone(),
+                    700 + i as u64,
+                )
+                .unwrap()
+                .features
+            })
+            .collect();
+        for (i, x1) in requests.iter().enumerate() {
+            assert_eq!(service.enqueue(&input, x1.clone()).unwrap(), i);
+        }
+        assert_eq!(service.queue_len(), 3);
+        // Admission past the depth is an explicit, typed rejection…
+        let err = service.enqueue(&input, requests[0].clone());
+        assert!(matches!(err, Err(AccelError::QueueFull { depth: 3 })));
+        // …that does not grow the queue.
+        assert_eq!(service.queue_len(), 3);
+        let batch = service.drain().unwrap();
+        assert_eq!(service.queue_len(), 0);
+        assert_eq!(batch.requests.len(), 3);
+        // Admission order is result order, bit-identical to direct runs.
+        let plan = service.cached_plan(&input).unwrap();
+        for (r, x1) in batch.requests.iter().zip(&requests) {
+            let direct = plan.run(x1).unwrap();
+            assert_eq!(r.outcome.output, direct.output);
+            assert!(r.queue_wait_s >= 0.0);
+        }
+        // Draining an empty queue is a guarded no-op batch.
+        let empty = service.drain().unwrap();
+        assert!(empty.requests.is_empty());
+        assert_eq!(empty.throughput_rps(), 0.0);
     }
 
     #[test]

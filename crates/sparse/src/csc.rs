@@ -163,6 +163,15 @@ impl Csc {
         &self.values
     }
 
+    /// Heap bytes held by the three storage arrays (`Col Ptr` at
+    /// `size_of::<usize>()` per entry, `Row ID` at 4, `Val` at 4) — the
+    /// size-estimate input for plan-cache memory budgeting.
+    pub fn heap_bytes(&self) -> usize {
+        self.col_ptr.len() * std::mem::size_of::<usize>()
+            + self.row_idx.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f32>()
+    }
+
     /// Iterates over all `(row, col, value)` triplets in column-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..self.cols).flat_map(move |c| self.col_entries(c).map(move |(r, v)| (r, c, v)))

@@ -171,6 +171,12 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// Heap bytes held by the row-major backing vector — the size-estimate
+    /// input for plan-cache memory budgeting.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
     /// Consumes the matrix and returns the row-major data.
     pub fn into_vec(self) -> Vec<f32> {
         self.data

@@ -35,6 +35,30 @@ pub fn csc_axpy_column(a: &Csc, j: usize, scale: f32, acc: &mut [f32]) {
     }
 }
 
+/// Writes the non-zero entries of the column accumulator `acc` into column
+/// `k` of `c`, then resets `acc` to all-`+0.0` for the next round-column.
+///
+/// The *write* stays conditional (`*v != 0.0`) so the fast kernel performs
+/// the identical sequence of `DenseMatrix::set` calls as the naive
+/// reference and stays bit-identical to it. The *reset* is unconditional:
+/// `-0.0 != 0.0` is `false` in IEEE-754, so a conditional reset would skip
+/// `-0.0` slots and leak the sign bit into every later column that touches
+/// the same row.
+///
+/// # Panics
+///
+/// Panics if `acc.len() != c.rows()` or `k >= c.cols()`.
+#[inline]
+pub fn drain_column_into(c: &mut DenseMatrix, k: usize, acc: &mut [f32]) {
+    assert_eq!(acc.len(), c.rows(), "accumulator length must match rows");
+    for (i, v) in acc.iter_mut().enumerate() {
+        if *v != 0.0 {
+            c.set(i, k, *v);
+        }
+        *v = 0.0;
+    }
+}
+
 /// `C = A * B` with `A` sparse (CSC) and `B` dense — the accelerator's
 /// native schedule.
 ///
@@ -78,12 +102,7 @@ pub fn csc_times_dense(a: &Csc, b: &DenseMatrix) -> Result<DenseMatrix> {
             }
             csc_axpy_column(a, j, bjk, &mut acc);
         }
-        for (i, v) in acc.iter_mut().enumerate() {
-            if *v != 0.0 {
-                c.set(i, k, *v);
-                *v = 0.0;
-            }
-        }
+        drain_column_into(&mut c, k, &mut acc);
     }
     Ok(c)
 }
@@ -342,6 +361,55 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn drain_resets_negative_zero_residue() {
+        // The old reset was folded into the `*v != 0.0` write guard, which
+        // is false for -0.0: a negative-zero residue survived into the next
+        // round-column. The reset must be unconditional.
+        let mut c = DenseMatrix::zeros(3, 1);
+        let mut acc = vec![1.5f32, -0.0, 0.0];
+        drain_column_into(&mut c, 0, &mut acc);
+        for (i, v) in acc.iter().enumerate() {
+            assert_eq!(
+                v.to_bits(),
+                0.0f32.to_bits(),
+                "acc[{i}] must be reset to +0.0"
+            );
+        }
+        assert_eq!(c.get(0, 0), 1.5);
+        // The -0.0 slot never held a non-zero value, so the output stays
+        // the +0.0 it was initialised with.
+        assert_eq!(c.get(1, 0).to_bits(), 0);
+    }
+
+    #[test]
+    fn cancellation_columns_bit_identical_to_naive() {
+        // Rows 0 and 1 cancel exactly in every output column (their B rows
+        // are identical and their A entries are negations), exercising the
+        // accumulator-reset path on exact-zero slots across all columns.
+        let mut a = Coo::new(6, 6);
+        a.push(0, 0, 0.75).unwrap();
+        a.push(0, 1, -0.75).unwrap();
+        a.push(1, 0, -0.5).unwrap();
+        a.push(1, 1, 0.5).unwrap();
+        for j in 0..6usize {
+            a.push(2 + (j % 4), j, (j + 1) as f32 * 0.5).unwrap();
+        }
+        let mut b = DenseMatrix::zeros(6, 5);
+        for (k, v) in [1.0f32, -1.0, 0.5, 0.0, -2.25].iter().enumerate() {
+            b.set(0, k, *v);
+            b.set(1, k, *v);
+        }
+        let csc = a.to_csc();
+        let fast = csc_times_dense(&csc, &b).unwrap();
+        let naive = csc_times_dense_naive(&csc, &b).unwrap();
+        assert_eq!(fast, naive);
+        for k in 0..5 {
+            assert_eq!(fast.get(0, k).to_bits(), 0, "row 0 must cancel to +0.0");
+            assert_eq!(fast.get(1, k).to_bits(), 0, "row 1 must cancel to +0.0");
+        }
     }
 
     #[test]

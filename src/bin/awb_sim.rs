@@ -7,6 +7,8 @@
 //! awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
 //! awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N]
 //!                 [--shards S] [--xw-shards S] [--mem-budget MB] [--compare-cold]
+//! awb-sim serve   <dataset> --trace [--queue-depth D] [--cache-plans MB]
+//!                 [--compare-cold]
 //! awb-sim export  <dataset> <path.mtx> [--scale F] [--seed N]
 //! ```
 //!
@@ -25,7 +27,11 @@
 use std::error::Error;
 use std::process::ExitCode;
 
-use awb_gcn_repro::accel::{trace, AccelConfig, Design, GcnRunner, GcnService, ShardPolicy};
+use awb_gcn_repro::accel::{
+    trace, AccelConfig, AccelError, Design, GcnRunner, GcnService, LatencyPercentiles,
+    RequestOutcome, ServeOptions, ShardPolicy,
+};
+use awb_gcn_repro::datasets::rng::Pcg64;
 use awb_gcn_repro::datasets::{DatasetSpec, GeneratedDataset, PaperDataset};
 use awb_gcn_repro::gcn::GcnInput;
 use awb_gcn_repro::sparse::io::write_matrix_market;
@@ -39,6 +45,8 @@ const USAGE: &str = "usage:
   awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N]
                   [--scale F] [--seed N] [--shards S] [--xw-shards S]
                   [--mem-budget MB] [--compare-cold]
+  awb-sim serve   <dataset> --trace [--queue-depth D] [--cache-plans MB]
+                  [--compare-cold]
   awb-sim export  <dataset> <path.mtx> [--scale F] [--seed N]
 
   <dataset>: cora | citeseer | pubmed | nell | reddit
@@ -58,7 +66,15 @@ const USAGE: &str = "usage:
   --requests: feature-matrix requests to serve   (default 8)
   --batch:    batch size per serve() call        (default all requests)
   --compare-cold: also run each request on a fresh cold runner and
-                  verify outputs are bit-identical";
+                  verify outputs are bit-identical
+  --trace:    replay a multi-tenant heavy-tailed arrival schedule (many
+              small ego-graph tenants plus a few giants) through the
+              admission queue and the fingerprint-keyed plan cache;
+              mutually exclusive with --requests/--batch
+  --queue-depth: admission-queue depth under --trace (>= 1; default 8 so
+              the schedule exercises backpressure)
+  --cache-plans: plan-cache memory budget in MB under --trace (>= 1;
+              default unbounded)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -105,6 +121,9 @@ struct Options {
     requests: usize,
     batch: Option<usize>,
     compare_cold: bool,
+    trace: bool,
+    queue_depth: Option<usize>,
+    cache_plans_mb: Option<usize>,
     extra_positional: Option<String>,
 }
 
@@ -121,9 +140,12 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     let mut shards = None;
     let mut xw_shards = None;
     let mut mem_budget_mb = None;
-    let mut requests = 8usize;
+    let mut requests: Option<usize> = None;
     let mut batch = None;
     let mut compare_cold = false;
+    let mut trace = false;
+    let mut queue_depth = None;
+    let mut cache_plans_mb = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -137,9 +159,14 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
             "--shards" => shards = Some(next_value(&mut it, "--shards")?.parse()?),
             "--xw-shards" => xw_shards = Some(next_value(&mut it, "--xw-shards")?.parse()?),
             "--mem-budget" => mem_budget_mb = Some(next_value(&mut it, "--mem-budget")?.parse()?),
-            "--requests" => requests = next_value(&mut it, "--requests")?.parse()?,
+            "--requests" => requests = Some(next_value(&mut it, "--requests")?.parse()?),
             "--batch" => batch = Some(next_value(&mut it, "--batch")?.parse()?),
             "--compare-cold" => compare_cold = true,
+            "--trace" => trace = true,
+            "--queue-depth" => queue_depth = Some(next_value(&mut it, "--queue-depth")?.parse()?),
+            "--cache-plans" => {
+                cache_plans_mb = Some(next_value(&mut it, "--cache-plans")?.parse()?)
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`").into())
             }
@@ -150,11 +177,27 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     if !(scale.is_finite() && scale > 0.0) {
         return Err("--scale must be positive".into());
     }
-    if requests == 0 {
+    if requests == Some(0) {
         return Err("--requests must be >= 1".into());
     }
     if batch == Some(0) {
         return Err("--batch must be >= 1".into());
+    }
+    if queue_depth == Some(0) {
+        return Err("--queue-depth must be >= 1".into());
+    }
+    if cache_plans_mb == Some(0) {
+        return Err("--cache-plans must be >= 1 MB".into());
+    }
+    if trace && (requests.is_some() || batch.is_some()) {
+        return Err(
+            "--trace replays its own arrival schedule and is mutually exclusive with \
+             --requests/--batch"
+                .into(),
+        );
+    }
+    if !trace && (queue_depth.is_some() || cache_plans_mb.is_some()) {
+        return Err("--queue-depth/--cache-plans only apply under --trace".into());
     }
     if shards == Some(0) {
         return Err("--shards must be >= 1".into());
@@ -180,9 +223,12 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
         shards,
         xw_shards,
         mem_budget_mb,
-        requests,
+        requests: requests.unwrap_or(8),
         batch,
         compare_cold,
+        trace,
+        queue_depth,
+        cache_plans_mb,
         extra_positional,
     })
 }
@@ -393,6 +439,9 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
     let opts = parse_options(args)?;
     let (spec, data, input) = load(&opts)?;
     let config = config_for(&opts)?;
+    if opts.trace {
+        return serve_trace(&opts, &spec, config);
+    }
     let batch_size = opts.batch.unwrap_or(opts.requests);
 
     // Request stream: feature matrices regenerated per request on the
@@ -499,6 +548,214 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
             cold_wall,
             warm_wall,
             cold_wall / warm_wall.max(1e-9),
+            if identical {
+                "bit-identical"
+            } else {
+                "DIFFERENT"
+            },
+        );
+        if !identical {
+            return Err("served outputs differ from cold runs".into());
+        }
+    }
+    Ok(())
+}
+
+/// One tenant of the `--trace` schedule: a fixed graph plus its request
+/// stream (fresh feature matrices on that graph).
+struct Tenant {
+    label: String,
+    input: GcnInput,
+    requests: Vec<awb_gcn_repro::sparse::Csr>,
+}
+
+fn make_tenant(
+    label: String,
+    spec: &DatasetSpec,
+    seed: u64,
+    requests_per_tenant: usize,
+) -> Result<Tenant, Box<dyn Error>> {
+    let data = GeneratedDataset::generate(spec, seed)?;
+    let input = GcnInput::from_dataset(&data)?;
+    let requests = (0..requests_per_tenant)
+        .map(|r| {
+            if r == 0 {
+                Ok(input.x1.clone())
+            } else {
+                GeneratedDataset::with_adjacency(
+                    spec,
+                    data.adjacency.clone(),
+                    seed.wrapping_add(r as u64).wrapping_mul(0x9e37),
+                )
+                .map(|d| d.features)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Tenant {
+        label,
+        input,
+        requests,
+    })
+}
+
+/// Drains the admission queue, filing each outcome under the arrival it
+/// was admitted for (drain keeps admission order).
+fn drain_admitted(
+    service: &mut GcnService,
+    admitted: &mut Vec<usize>,
+    completed: &mut [Option<RequestOutcome>],
+) -> Result<(), Box<dyn Error>> {
+    let batch = service.drain()?;
+    for (slot, outcome) in batch.requests.into_iter().enumerate() {
+        completed[admitted[slot]] = Some(outcome);
+    }
+    admitted.clear();
+    Ok(())
+}
+
+/// `serve --trace`: replay a heavy-tailed multi-tenant arrival schedule —
+/// many small ego-graph tenants plus a few giants, interleaved — through
+/// the admission queue (explicit backpressure) and the fingerprint-keyed
+/// plan cache (prepare-on-miss, LRU eviction under `--cache-plans`).
+fn serve_trace(
+    opts: &Options,
+    spec: &DatasetSpec,
+    config: AccelConfig,
+) -> Result<(), Box<dyn Error>> {
+    const EGO_TENANTS: usize = 6;
+    const GIANT_TENANTS: usize = 2;
+    const REQUESTS_PER_TENANT: usize = 2;
+
+    // The heavy tail: most tenants are small ego-graphs, a few are the
+    // full-size graph. Distinct seeds give each tenant a distinct
+    // structure (its own fingerprint and plan).
+    let ego_spec = spec.clone().with_nodes((spec.nodes / 8).max(32));
+    let mut tenants = Vec::with_capacity(EGO_TENANTS + GIANT_TENANTS);
+    for t in 0..EGO_TENANTS {
+        tenants.push(make_tenant(
+            format!("ego{t}"),
+            &ego_spec,
+            opts.seed.wrapping_add(1000 + t as u64),
+            REQUESTS_PER_TENANT,
+        )?);
+    }
+    for g in 0..GIANT_TENANTS {
+        tenants.push(make_tenant(
+            format!("giant{g}"),
+            spec,
+            opts.seed.wrapping_add(g as u64),
+            REQUESTS_PER_TENANT,
+        )?);
+    }
+
+    // Arrival schedule: every tenant's requests, deterministically
+    // shuffled so tenants interleave (giants land between ego bursts).
+    let mut schedule: Vec<(usize, usize)> = (0..tenants.len())
+        .flat_map(|t| (0..REQUESTS_PER_TENANT).map(move |r| (t, r)))
+        .collect();
+    Pcg64::seed_from_u64(opts.seed ^ 0x7472_6163).shuffle(&mut schedule);
+
+    let options = ServeOptions {
+        queue_depth: opts.queue_depth.unwrap_or(8),
+        cache_budget_bytes: opts.cache_plans_mb.map(|mb| (mb as u64) << 20),
+    };
+    let mut service = GcnService::with_options(config.clone(), options)?;
+    println!(
+        "trace: {} tenants ({EGO_TENANTS} ego x {} nodes + {GIANT_TENANTS} giant x {} nodes), \
+         {} arrivals, queue depth {}, cache budget {}",
+        tenants.len(),
+        ego_spec.nodes,
+        spec.nodes,
+        schedule.len(),
+        options.queue_depth,
+        opts.cache_plans_mb
+            .map_or("unbounded".to_string(), |mb| format!("{mb} MB")),
+    );
+
+    let trace_start = std::time::Instant::now();
+    let mut admitted: Vec<usize> = Vec::new();
+    let mut completed: Vec<Option<RequestOutcome>> = vec![None; schedule.len()];
+    let mut drains = 0usize;
+    let mut backpressure_drains = 0usize;
+    for (arrival, &(tenant, request)) in schedule.iter().enumerate() {
+        loop {
+            let x1 = tenants[tenant].requests[request].clone();
+            match service.enqueue(&tenants[tenant].input, x1) {
+                Ok(_) => {
+                    admitted.push(arrival);
+                    break;
+                }
+                Err(AccelError::QueueFull { .. }) => {
+                    // Explicit backpressure: drain everything admitted so
+                    // far, then retry the rejected arrival.
+                    backpressure_drains += 1;
+                    drains += 1;
+                    drain_admitted(&mut service, &mut admitted, &mut completed)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    if !admitted.is_empty() {
+        drains += 1;
+        drain_admitted(&mut service, &mut admitted, &mut completed)?;
+    }
+    let trace_wall = trace_start.elapsed().as_secs_f64();
+
+    let outcomes: Vec<RequestOutcome> = completed
+        .into_iter()
+        .map(|o| o.expect("every arrival was admitted and drained"))
+        .collect();
+    let wait = LatencyPercentiles::from_samples(outcomes.iter().map(|r| r.queue_wait_s));
+    let exec = LatencyPercentiles::from_samples(outcomes.iter().map(|r| r.wall_s));
+    let stats = service.cache_stats();
+    println!(
+        "drained {drains} batch(es) ({backpressure_drains} on backpressure): {} requests in \
+         {:.3}s wall ({:.1} req/s)",
+        outcomes.len(),
+        trace_wall,
+        outcomes.len() as f64 / trace_wall.max(1e-9),
+    );
+    println!(
+        "latency (ms): queue-wait p50 {:.3} p95 {:.3} p99 {:.3} | execute p50 {:.3} p95 {:.3} \
+         p99 {:.3}",
+        wait.p50 * 1e3,
+        wait.p95 * 1e3,
+        wait.p99 * 1e3,
+        exec.p50 * 1e3,
+        exec.p95 * 1e3,
+        exec.p99 * 1e3,
+    );
+    println!(
+        "plan cache: {} hits / {} misses / {} evictions, resident {} bytes ({} plans)",
+        stats.hits, stats.misses, stats.evictions, stats.resident_bytes, stats.resident_plans,
+    );
+
+    if opts.compare_cold {
+        // Every response must be bit-identical to an independent cold
+        // prepare + run on the same tenant graph and features.
+        let runner = GcnRunner::new(config);
+        let mut identical = true;
+        for (arrival, &(tenant, request)) in schedule.iter().enumerate() {
+            let t = &tenants[tenant];
+            let cold_input = GcnInput::from_parts(
+                t.input.a_norm.clone(),
+                t.requests[request].clone(),
+                t.input.weights.clone(),
+            )?;
+            let cold = runner.run(&cold_input)?;
+            if cold.output != outcomes[arrival].outcome.output {
+                identical = false;
+                eprintln!(
+                    "arrival {arrival} (tenant {}): served output differs from cold run!",
+                    t.label
+                );
+            }
+        }
+        println!(
+            "cold comparison: {} arrivals over {} tenants, outputs {}",
+            schedule.len(),
+            tenants.len(),
             if identical {
                 "bit-identical"
             } else {

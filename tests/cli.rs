@@ -326,6 +326,91 @@ fn run_mem_budget_reports_sharding() {
     );
 }
 
+/// Golden-structure test of `serve --trace`: the multi-tenant replay must
+/// report the schedule shape, backpressure drains, queue-wait and execute
+/// percentiles, plan-cache counters, and (under `--compare-cold`) the
+/// bit-identity verdict against independent cold prepare+run per tenant.
+#[test]
+fn serve_trace_reports_percentiles_and_cache_counters() {
+    let out = awb_sim(&[
+        "serve",
+        "cora",
+        "--scale",
+        "0.05",
+        "--pes",
+        "16",
+        "--trace",
+        "--queue-depth",
+        "4",
+        "--seed",
+        "5",
+        "--compare-cold",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("trace: 8 tenants (6 ego"),
+        "missing trace header:\n{text}"
+    );
+    assert!(text.contains("16 arrivals"), "{text}");
+    assert!(text.contains("queue depth 4"), "{text}");
+    // 16 arrivals through a depth-4 queue force backpressure drains.
+    assert!(text.contains("on backpressure"), "{text}");
+    // Latency percentiles, split queue-wait vs execute.
+    assert!(text.contains("queue-wait p50"), "{text}");
+    assert!(text.contains("execute p50"), "{text}");
+    for p in ["p50", "p95", "p99"] {
+        assert!(text.contains(p), "missing {p}:\n{text}");
+    }
+    // Cache counters: 8 tenants x 2 arrivals = 8 misses then 8 hits,
+    // nothing evicted under an unbounded budget.
+    assert!(
+        text.contains("plan cache: 8 hits / 8 misses / 0 evictions"),
+        "{text}"
+    );
+    assert!(text.contains("(8 plans)"), "{text}");
+    assert!(
+        text.contains("outputs bit-identical"),
+        "trace cold comparison failed:\n{text}"
+    );
+}
+
+/// `--cache-plans` bounds the resident plan-cache footprint during a
+/// trace; the giants plus six ego plans exceed 1 MB at this scale, so
+/// evictions must occur and the resident count must shrink below the
+/// tenant count.
+#[test]
+fn serve_trace_cache_budget_evicts() {
+    let out = awb_sim(&[
+        "serve",
+        "cora",
+        "--scale",
+        "0.8",
+        "--pes",
+        "16",
+        "--trace",
+        "--cache-plans",
+        "1",
+        "--seed",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cache budget 1 MB"), "{text}");
+    assert!(
+        !text.contains("/ 0 evictions"),
+        "expected evictions:\n{text}"
+    );
+}
+
 #[test]
 fn export_writes_matrix_market() {
     let dir = std::env::temp_dir().join(format!("awb_sim_test_{}", std::process::id()));
@@ -365,6 +450,14 @@ fn bad_inputs_are_rejected() {
         &["run", "cora", "--xw-shards", "2", "--mem-budget", "4"][..],
         &["run", "cora", "--shards"][..],
         &["run", "cora", "--xw-shards"][..],
+        &["serve", "cora", "--trace", "--queue-depth", "0"][..],
+        &["serve", "cora", "--trace", "--cache-plans", "0"][..],
+        &["serve", "cora", "--trace", "--requests", "4"][..],
+        &["serve", "cora", "--trace", "--batch", "2"][..],
+        &["serve", "cora", "--queue-depth", "4"][..],
+        &["serve", "cora", "--cache-plans", "64"][..],
+        &["serve", "cora", "--trace", "--queue-depth"][..],
+        &["serve", "cora", "--trace", "--cache-plans"][..],
     ] {
         let out = awb_sim(args);
         assert!(!out.status.success(), "accepted: {args:?}");
