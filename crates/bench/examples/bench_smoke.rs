@@ -16,11 +16,17 @@
 //! "serve"`) measures the multi-tenant front-end end to end: a
 //! `GcnService` batch on a warm plan cache, recording requests/second
 //! plus p50/p95/p99 queue-wait and execute latency and the plan-cache
-//! hit/miss counters. Every record carries `"workload"` (`"spmm"` for the
-//! engine records) and the compare gate matches on (workload, design,
-//! replay, shards, xw_shards); serve records are excluded from the
-//! machine-speed geomean and only *warn* on throughput or p95 drift
-//! (end-to-end wall-clock is noisier than the kernel records).
+//! hit/miss counters. A second serving record (schema 6, `"workload":
+//! "serve_isolated"`) drives the same warm batch through the
+//! fault-tolerant path (`serve_isolated`: per-request `catch_unwind`
+//! isolation and the fault hooks) with injection *disabled* — comparing
+//! it against the plain serve record gates the "fault hooks are
+//! zero-cost when off" requirement. Every record carries `"workload"`
+//! (`"spmm"` for the engine records) and the compare gate matches on
+//! (workload, design, replay, shards, xw_shards); serve records are
+//! excluded from the machine-speed geomean and only *warn* on
+//! throughput or p95 drift (end-to-end wall-clock is noisier than the
+//! kernel records).
 //!
 //! Usage:
 //!   cargo run --release -p awb_bench --example bench_smoke [-- --out PATH]
@@ -35,7 +41,8 @@
 //! on replay hit-rate drift. CI runs write-then-check-then-compare.
 
 use awb_accel::{
-    exec, AccelConfig, Design, FastEngine, GcnService, ShardPolicy, ShardedEngine, SpmmEngine,
+    exec, AccelConfig, Design, FastEngine, GcnService, LatencyPercentiles, ShardPolicy,
+    ShardedEngine, SpmmEngine,
 };
 use awb_bench::BENCH_SEED;
 use awb_datasets::{DatasetSpec, GeneratedDataset};
@@ -136,11 +143,9 @@ fn record(design: Design, replay: bool, shards: usize, xw_shards: usize, m: &Mea
     )
 }
 
-/// The serving record (schema 5): the multi-tenant front-end measured end
-/// to end on a warm plan cache. `tasks` is the request count and
-/// `tasks_per_s` is requests/second; the percentile fields are
-/// milliseconds.
-fn serve_record() -> String {
+/// Shared setup for the serving records: the Cora graph plus an 8-request
+/// feature stream on a warmed `GcnService`.
+fn serve_fixture() -> (GcnInput, Vec<awb_sparse::Csr>, GcnService) {
     let design = Design::LocalPlusRemote { hop: 2 };
     let data = GeneratedDataset::generate(&DatasetSpec::cora(), BENCH_SEED).expect("dataset");
     let input = GcnInput::from_dataset(&data).expect("gcn input");
@@ -160,7 +165,45 @@ fn serve_record() -> String {
             }
         })
         .collect();
-    let mut service = GcnService::new(config);
+    let service = GcnService::new(config);
+    (input, requests, service)
+}
+
+/// Serializes a serving measurement under its workload discriminator.
+#[allow(clippy::too_many_arguments)]
+fn serve_json(
+    workload: &str,
+    tasks: usize,
+    wall_s: f64,
+    wait: &LatencyPercentiles,
+    exec_p: &LatencyPercentiles,
+    hits: u64,
+    misses: u64,
+) -> String {
+    format!(
+        "    {{\"dataset\": \"cora\", \"design\": \"{}\", \"replay\": true, \
+         \"shards\": 1, \"xw_shards\": 1, \"workload\": \"{workload}\", \"n_pes\": 1024, \
+         \"tasks\": {tasks}, \"wall_s\": {wall_s:.6}, \"tasks_per_s\": {:.1}, \
+         \"p50_wait_ms\": {:.3}, \"p95_wait_ms\": {:.3}, \"p99_wait_ms\": {:.3}, \
+         \"p50_exec_ms\": {:.3}, \"p95_exec_ms\": {:.3}, \"p99_exec_ms\": {:.3}, \
+         \"cache_hits\": {hits}, \"cache_misses\": {misses}}}",
+        Design::LocalPlusRemote { hop: 2 }.label(),
+        tasks as f64 / wall_s,
+        wait.p50 * 1e3,
+        wait.p95 * 1e3,
+        wait.p99 * 1e3,
+        exec_p.p50 * 1e3,
+        exec_p.p95 * 1e3,
+        exec_p.p99 * 1e3,
+    )
+}
+
+/// The serving record (schema 5): the multi-tenant front-end measured end
+/// to end on a warm plan cache. `tasks` is the request count and
+/// `tasks_per_s` is requests/second; the percentile fields are
+/// milliseconds.
+fn serve_record() -> String {
+    let (input, requests, mut service) = serve_fixture();
     // Warm batch pays the prepare (the cache miss); the timed batch runs
     // on a warm cache — the steady serving state the record tracks.
     service.serve_graph(&input, &requests).expect("warm batch");
@@ -170,24 +213,51 @@ fn serve_record() -> String {
     let wait = batch.queue_wait_percentiles();
     let exec_p = batch.execute_percentiles();
     let stats = service.cache_stats();
-    format!(
-        "    {{\"dataset\": \"cora\", \"design\": \"{}\", \"replay\": true, \
-         \"shards\": 1, \"xw_shards\": 1, \"workload\": \"serve\", \"n_pes\": 1024, \
-         \"tasks\": {}, \"wall_s\": {wall_s:.6}, \"tasks_per_s\": {:.1}, \
-         \"p50_wait_ms\": {:.3}, \"p95_wait_ms\": {:.3}, \"p99_wait_ms\": {:.3}, \
-         \"p50_exec_ms\": {:.3}, \"p95_exec_ms\": {:.3}, \"p99_exec_ms\": {:.3}, \
-         \"cache_hits\": {}, \"cache_misses\": {}}}",
-        design.label(),
+    serve_json(
+        "serve",
         batch.requests.len(),
-        batch.requests.len() as f64 / wall_s,
-        wait.p50 * 1e3,
-        wait.p95 * 1e3,
-        wait.p99 * 1e3,
-        exec_p.p50 * 1e3,
-        exec_p.p95 * 1e3,
-        exec_p.p99 * 1e3,
+        wall_s,
+        &wait,
+        &exec_p,
         stats.hits,
-        stats.misses
+        stats.misses,
+    )
+}
+
+/// The fault-tolerant serving record (schema 6): the identical warm batch
+/// driven through `serve_isolated` — per-request `catch_unwind` isolation,
+/// ingest validation, and the fault hooks all present but with injection
+/// *disabled*. Comparing its requests/second against the `"serve"` record
+/// measures the cost of the fault-tolerance layer when off (required:
+/// within noise).
+fn serve_isolated_record() -> String {
+    let (input, requests, mut service) = serve_fixture();
+    service.prepare("cora", &input).expect("prepare");
+    service
+        .serve_isolated("cora", &requests)
+        .expect("warm batch");
+    let start = Instant::now();
+    let batch = service
+        .serve_isolated("cora", &requests)
+        .expect("timed batch");
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(
+        batch.failed_count(),
+        0,
+        "no faults are armed: every slot must complete"
+    );
+    let wait = LatencyPercentiles::from_samples(batch.completed().map(|r| r.queue_wait_s));
+    let exec_p = LatencyPercentiles::from_samples(batch.completed().map(|r| r.wall_s));
+    let tasks = batch.results.len();
+    let stats = service.cache_stats();
+    serve_json(
+        "serve_isolated",
+        tasks,
+        wall_s,
+        &wait,
+        &exec_p,
+        stats.hits,
+        stats.misses,
     )
 }
 
@@ -263,8 +333,12 @@ fn write_bench(path: &str) {
     // cache — end-to-end requests/second plus latency percentiles.
     records.push(serve_record());
 
+    // Fault-tolerance axis (schema 6): the same warm batch through the
+    // isolated path with injection disabled — the zero-cost-off gate.
+    records.push(serve_isolated_record());
+
     let json = format!(
-        "{{\n  \"schema\": 5,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
+        "{{\n  \"schema\": 6,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
          \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
         exec::num_threads(),
         records.join(",\n")

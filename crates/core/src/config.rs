@@ -216,6 +216,11 @@ pub struct AccelConfig {
     /// combination phases shard independently, and either axis alone (or
     /// both) keeps layer outputs bit-identical to the unsharded run.
     pub combination_shards: ShardPolicy,
+    /// Deterministic fault-injection plan for the chaos harness (default
+    /// `None` = injection off; every hook site is then a single
+    /// `Option` test, so disabled injection is zero-cost). See
+    /// [`FaultPlan`](crate::fault::FaultPlan).
+    pub faults: Option<crate::fault::FaultPlan>,
 }
 
 impl AccelConfig {
@@ -295,6 +300,12 @@ pub struct ServeOptions {
     /// serving). `None` disables eviction. `Some(0)` is rejected: use
     /// `None` for "no budget".
     pub cache_budget_bytes: Option<u64>,
+    /// Per-request deadline budget on *queue wait*: a request whose wait
+    /// between admission and drain pickup exceeds this duration is shed
+    /// with [`AccelError::DeadlineExceeded`](crate::AccelError::DeadlineExceeded)
+    /// instead of executing stale work. `None` disables shedding;
+    /// `Some(Duration::ZERO)` is rejected (it would shed everything).
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl ServeOptions {
@@ -314,6 +325,13 @@ impl ServeOptions {
                 "plan-cache budget must be >= 1 byte (use None for an unbounded cache)".into(),
             ));
         }
+        if self.deadline == Some(std::time::Duration::ZERO) {
+            return Err(AccelError::InvalidConfig(
+                "deadline must be > 0 when set (a zero budget sheds every request; use None to \
+                 disable shedding)"
+                    .into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -325,6 +343,57 @@ impl Default for ServeOptions {
         ServeOptions {
             queue_depth: 64,
             cache_budget_bytes: None,
+            deadline: None,
+        }
+    }
+}
+
+/// Bounded retry-with-backoff policy for transient
+/// [`AccelError::QueueFull`](crate::AccelError::QueueFull) rejections
+/// (see [`GcnService::enqueue_with_backoff`](crate::GcnService::enqueue_with_backoff)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum re-admission attempts after the first rejection (≥ 1).
+    pub max_retries: usize,
+    /// Backoff slept before the first retry; doubles per attempt, capped
+    /// at 64× (must be > 0).
+    pub backoff: std::time::Duration,
+}
+
+impl RetryPolicy {
+    /// Checks the zero-rejected rules (retries ≥ 1, backoff > 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] describing the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), AccelError> {
+        if self.max_retries == 0 {
+            return Err(AccelError::InvalidConfig(
+                "retry count must be >= 1 (skip the retry helper for fail-fast admission)".into(),
+            ));
+        }
+        if self.backoff.is_zero() {
+            return Err(AccelError::InvalidConfig(
+                "retry backoff must be > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The backoff before retry `attempt` (0-based): exponential doubling
+    /// capped at 64× the base.
+    pub fn backoff_for(&self, attempt: usize) -> std::time::Duration {
+        self.backoff * (1u32 << attempt.min(6))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 3 retries starting at a 1 ms backoff.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: std::time::Duration::from_millis(1),
         }
     }
 }
@@ -357,6 +426,7 @@ impl Default for AccelConfigBuilder {
                 replay: true,
                 shards: ShardPolicy::Single,
                 combination_shards: ShardPolicy::Single,
+                faults: None,
             },
         }
     }
@@ -471,6 +541,13 @@ impl AccelConfigBuilder {
     /// ([`ShardPolicy::Fixed`] requires a count ≥ 1).
     pub fn combination_shards(&mut self, policy: ShardPolicy) -> &mut Self {
         self.config.combination_shards = policy;
+        self
+    }
+
+    /// Arms (or with `None`, disarms) deterministic fault injection for
+    /// the chaos harness.
+    pub fn faults(&mut self, plan: Option<crate::fault::FaultPlan>) -> &mut Self {
+        self.config.faults = plan;
         self
     }
 

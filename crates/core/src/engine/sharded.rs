@@ -180,6 +180,20 @@ struct EngineShard {
     engine: Mutex<FastEngine>,
 }
 
+impl EngineShard {
+    /// Poison-recovering lock on the member engine. Sound for the same
+    /// reason as `ReplayCache`: a shard engine's replayable state (frozen
+    /// map + memoized timings) is only ever mutated in complete,
+    /// deterministic units, so the post-panic state a recovering lock
+    /// observes is a consistent prefix of finished rounds — an isolated
+    /// request's panic must not brick the other tenants' shard engines.
+    fn lock_engine(&self) -> std::sync::MutexGuard<'_, FastEngine> {
+        self.engine
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 /// A tuning-live sharded engine: the multi-device analogue of
 /// [`FastEngine`]. The first operand is partitioned by the
 /// configuration's aggregation-side [`ShardPolicy`](crate::ShardPolicy)
@@ -235,7 +249,7 @@ impl ShardedEngine {
     pub fn total_switches(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.engine.lock().expect("engine lock").total_switches())
+            .map(|s| s.lock_engine().total_switches())
             .sum()
     }
 
@@ -243,7 +257,7 @@ impl ShardedEngine {
     pub fn replay_hits(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.engine.lock().expect("engine lock").replay_hits())
+            .map(|s| s.lock_engine().replay_hits())
             .sum()
     }
 
@@ -251,7 +265,7 @@ impl ShardedEngine {
     pub fn replay_misses(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.engine.lock().expect("engine lock").replay_misses())
+            .map(|s| s.lock_engine().replay_misses())
             .sum()
     }
 
@@ -326,13 +340,7 @@ impl ShardedEngine {
             b,
             label,
             |shard| shard.cols.clone(),
-            |shard, b_slice| {
-                shard
-                    .engine
-                    .lock()
-                    .expect("engine lock")
-                    .run(&shard.a, b_slice, label)
-            },
+            |shard, b_slice| shard.lock_engine().run(&shard.a, b_slice, label),
         )
     }
 
@@ -348,7 +356,7 @@ impl ShardedEngine {
         self.ensure_shards(a)?;
         let mut shards = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
-            let mut engine = shard.engine.lock().expect("engine lock");
+            let mut engine = shard.lock_engine();
             let plan = engine.freeze_plan(&shard.a)?;
             shards.push(PlanShard {
                 cols: shard.cols.clone(),

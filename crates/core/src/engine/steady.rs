@@ -27,7 +27,7 @@ use awb_sparse::spmm::csc_axpy_column;
 use awb_sparse::{Csc, DenseMatrix};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Replay-cache entry cap. GCN workloads need a handful of patterns (most
 /// rounds are fully dense in `b[:, k]`); an operand producing thousands of
@@ -316,8 +316,8 @@ impl Clone for ReplayCache {
     /// plan's serving traffic).
     fn clone(&self) -> Self {
         ReplayCache {
-            timings: RwLock::new(self.timings.read().expect("cache lock").clone()),
-            fingerprint: Mutex::new(*self.fingerprint.lock().expect("fingerprint lock")),
+            timings: RwLock::new(self.read_timings().clone()),
+            fingerprint: Mutex::new(*self.lock_fingerprint()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -329,20 +329,47 @@ impl ReplayCache {
         ReplayCache::default()
     }
 
+    /// Poison-recovering read lock on the timing map.
+    ///
+    /// A worker that panics while holding a guard (e.g. a fault-injected
+    /// request on a shared cached plan) poisons the `RwLock`; recovering
+    /// via `into_inner` is sound here because the map only ever holds
+    /// *complete* key→value pairs of deterministic timings — inserts are
+    /// single `HashMap::insert` calls, and timings are pure functions of
+    /// their key — so the post-panic state is always a consistent prefix
+    /// of completed work, never a torn entry.
+    fn read_timings(&self) -> RwLockReadGuard<'_, HashMap<Vec<u32>, RoundTiming>> {
+        self.timings.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Poison-recovering write lock (see [`ReplayCache::read_timings`]).
+    fn write_timings(&self) -> RwLockWriteGuard<'_, HashMap<Vec<u32>, RoundTiming>> {
+        self.timings.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Poison-recovering lock on the guarding fingerprint: the value is a
+    /// plain `Option<u64>` written atomically, so recovery is trivially
+    /// sound.
+    fn lock_fingerprint(&self) -> MutexGuard<'_, Option<u64>> {
+        self.fingerprint
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Ensures the cache describes the operand with fingerprint `fp`,
     /// clearing stale timings from a structurally different operand.
     pub(crate) fn guard(&self, fp: u64) {
-        let mut current = self.fingerprint.lock().expect("fingerprint lock");
+        let mut current = self.lock_fingerprint();
         if *current != Some(fp) {
-            self.timings.write().expect("cache lock").clear();
+            self.write_timings().clear();
             *current = Some(fp);
         }
     }
 
     /// Drops all cached timings and the fingerprint.
     pub(crate) fn clear(&self) {
-        self.timings.write().expect("cache lock").clear();
-        *self.fingerprint.lock().expect("fingerprint lock") = None;
+        self.write_timings().clear();
+        *self.lock_fingerprint() = None;
     }
 
     /// Rounds served from the cache.
@@ -357,7 +384,7 @@ impl ReplayCache {
 
     /// Cached distinct patterns.
     pub(crate) fn len(&self) -> usize {
-        self.timings.read().expect("cache lock").len()
+        self.read_timings().len()
     }
 
     /// Approximate heap bytes held by the memoized timings: per entry, the
@@ -366,7 +393,7 @@ impl ReplayCache {
     /// scalars. An estimate for plan-cache memory budgeting, not an
     /// allocator-exact figure.
     pub(crate) fn approx_bytes(&self) -> usize {
-        let timings = self.timings.read().expect("cache lock");
+        let timings = self.read_timings();
         timings
             .iter()
             .map(|(key, timing)| {
@@ -431,7 +458,7 @@ pub(crate) fn execute_steady(
             // other round replays.
             let mut to_sim: Vec<Vec<u32>> = Vec::new();
             {
-                let cached = cache.timings.read().expect("cache lock");
+                let cached = cache.read_timings();
                 let mut queued: HashSet<&[u32]> = HashSet::new();
                 for (cols, _) in &patterns {
                     if !cached.contains_key(cols.as_slice()) && queued.insert(cols.as_slice()) {
@@ -456,7 +483,7 @@ pub(crate) fn execute_steady(
             // same value.
             let mut overflow: HashMap<Vec<u32>, RoundTiming> = HashMap::new();
             {
-                let mut cached = cache.timings.write().expect("cache lock");
+                let mut cached = cache.write_timings();
                 for (key, timing) in to_sim.into_iter().zip(fresh) {
                     if cached.len() < REPLAY_CACHE_CAP || cached.contains_key(&key) {
                         cached.insert(key, timing);
@@ -465,7 +492,7 @@ pub(crate) fn execute_steady(
                     }
                 }
             }
-            let cached = cache.timings.read().expect("cache lock");
+            let cached = cache.read_timings();
             patterns
                 .iter()
                 .map(|(cols, _)| {
@@ -520,5 +547,68 @@ pub(crate) fn execute_steady(
                 c.set(row, k, v);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(cycles: u64) -> RoundTiming {
+        RoundTiming {
+            cycles,
+            tasks: 3,
+            max_pe_busy: 2,
+            min_pe_busy: 1,
+            max_queue_depth: 4,
+            raw_stalls: 0,
+            queue_high_water: vec![1, 2],
+        }
+    }
+
+    /// Poison both ReplayCache locks with a deliberate mid-guard panic and
+    /// prove every operation still works afterwards — a panicked session
+    /// must never brick a shared cached plan.
+    #[test]
+    fn poisoned_locks_recover_with_contents_intact() {
+        let cache = ReplayCache::new();
+        cache.guard(7);
+        cache.write_timings().insert(vec![0, 1, 2], timing(42));
+
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| {
+                let _write = cache.timings.write().unwrap();
+                panic!("deliberate poison");
+            });
+            assert!(h.join().is_err());
+            let h = scope.spawn(|| {
+                let _lock = cache.fingerprint.lock().unwrap();
+                panic!("deliberate poison");
+            });
+            assert!(h.join().is_err());
+        });
+        assert!(cache.timings.is_poisoned());
+        assert!(cache.fingerprint.is_poisoned());
+
+        // Reads recover and see the pre-panic entry (inserts are atomic:
+        // complete key→value pairs only).
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.read_timings().get([0, 1, 2].as_slice()),
+            Some(&timing(42))
+        );
+        assert!(cache.approx_bytes() > 0);
+
+        // A matching guard keeps the entry; the clone snapshots it.
+        cache.guard(7);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.clone().len(), 1);
+
+        // Writes recover too: re-guard to a new fingerprint, then clear.
+        cache.guard(8);
+        assert_eq!(cache.len(), 0);
+        cache.write_timings().insert(vec![5], timing(9));
+        cache.clear();
+        assert_eq!(cache.len(), 0);
     }
 }

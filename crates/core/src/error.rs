@@ -26,6 +26,35 @@ pub enum AccelError {
         /// The configured admission-queue depth that was hit.
         depth: usize,
     },
+    /// A worker thread panicked while executing an isolated request or
+    /// shard. The panic was caught at the isolation boundary
+    /// ([`par_map_isolated`](crate::exec::par_map_isolated)) so other
+    /// in-flight requests completed normally.
+    WorkerPanicked {
+        /// The named site (e.g. `drain[3]`) where the panic surfaced.
+        site: String,
+        /// The stringified panic payload.
+        message: String,
+    },
+    /// A request's queue wait exceeded its per-request deadline budget, so
+    /// the service shed it instead of executing stale work.
+    DeadlineExceeded {
+        /// How long the request actually waited, in milliseconds.
+        waited_ms: u64,
+        /// The configured deadline budget, in milliseconds.
+        budget_ms: u64,
+    },
+    /// A graph/feature/weight operand was rejected at admission — NaN/±inf
+    /// values, out-of-bounds indices, or a dimension mismatch — before it
+    /// could enter the plan cache or produce a silent-NaN output.
+    InvalidInput(String),
+    /// A response matrix contained NaN/±inf values (detected under fault
+    /// injection) and was suppressed: the service returns this typed error
+    /// rather than ever handing back a corrupted payload.
+    NonFiniteOutput {
+        /// The named site (e.g. `drain[5]`) whose output was corrupted.
+        site: String,
+    },
 }
 
 impl fmt::Display for AccelError {
@@ -41,6 +70,25 @@ impl fmt::Display for AccelError {
                 f,
                 "admission queue full (depth {depth}): request rejected — drain the queue or \
                  raise ServeOptions::queue_depth"
+            ),
+            AccelError::WorkerPanicked { site, message } => {
+                write!(f, "worker panicked at {site}: {message}")
+            }
+            AccelError::DeadlineExceeded {
+                waited_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "deadline exceeded: request waited {waited_ms} ms against a {budget_ms} ms budget \
+                 — shed without executing"
+            ),
+            AccelError::InvalidInput(msg) => {
+                write!(f, "invalid input rejected at admission: {msg}")
+            }
+            AccelError::NonFiniteOutput { site } => write!(
+                f,
+                "non-finite output suppressed at {site}: response contained NaN/inf and was \
+                 replaced by this typed error"
             ),
         }
     }
@@ -74,6 +122,25 @@ mod tests {
         assert!(e.source().is_some());
         let e = AccelError::QueueFull { depth: 64 };
         assert!(e.to_string().contains("admission queue full (depth 64)"));
+        let e = AccelError::WorkerPanicked {
+            site: "drain[3]".into(),
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("worker panicked at drain[3]: boom"));
+        let e = AccelError::DeadlineExceeded {
+            waited_ms: 120,
+            budget_ms: 50,
+        };
+        assert!(e.to_string().contains("waited 120 ms"));
+        assert!(e.to_string().contains("50 ms budget"));
+        let e = AccelError::InvalidInput("x1 value at nnz 4 is NaN".into());
+        assert!(e.to_string().contains("rejected at admission"));
+        let e = AccelError::NonFiniteOutput {
+            site: "serve[1]".into(),
+        };
+        assert!(e
+            .to_string()
+            .contains("non-finite output suppressed at serve[1]"));
     }
 
     #[test]

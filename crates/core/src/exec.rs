@@ -15,7 +15,9 @@
 //! never the result order, and `f` receives each item exactly once. Callers
 //! that keep `f` a pure function of its item (as every caller in this
 //! workspace does) therefore get bit-identical results whether
-//! `AWB_THREADS=1` or 64. Worker panics propagate to the caller.
+//! `AWB_THREADS=1` or 64. Worker panics propagate to the caller — except
+//! through [`par_map_isolated`], which catches them per item so a fault in
+//! one request cannot take down the rest of a serving batch.
 //!
 //! # Thread-count policy
 //!
@@ -135,6 +137,47 @@ where
         .collect()
 }
 
+/// [`par_map_threads`], but with each item's computation *isolated*: a
+/// panic inside `f` is caught at the item boundary and surfaces as that
+/// item's `Err(message)` while every other item still completes and the
+/// calling thread never unwinds. This is the request-isolation primitive
+/// for the serving front-end — one poisoned request must not take down a
+/// batch of healthy tenants.
+///
+/// The determinism contract is unchanged: `out[i]` is `f(&items[i])`
+/// (or its caught panic) independent of the thread count, and both the
+/// inline (`threads <= 1`) and threaded paths catch panics identically.
+///
+/// `AssertUnwindSafe` rationale: `f` is only observed *through shared
+/// references*, and every caller in this workspace either keeps `f` pure
+/// per item or guards interior mutability with poison-recovering locks
+/// (see `ReplayCache`), so state witnessed after a caught panic is always
+/// a consistent prefix of completed work.
+pub fn par_map_isolated<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let f = &f;
+    par_map_threads(threads, items, move |item| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    })
+}
+
+/// Stringifies a caught panic payload (the two forms `panic!` produces,
+/// with a fallback for exotic `panic_any` payloads).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,5 +269,52 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn isolated_panics_become_item_errors() {
+        let items: Vec<u32> = (0..16).collect();
+        // Inline and threaded paths must behave identically.
+        for threads in [1, 2, 4] {
+            let out = par_map_isolated(threads, &items, |&x| {
+                if x % 5 == 3 {
+                    panic!("bad item {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    assert_eq!(
+                        r.as_ref().map_err(String::as_str),
+                        Err(format!("bad item {i}").as_str())
+                    );
+                } else {
+                    assert_eq!(*r, Ok(i as u32 * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_all_panic_still_returns() {
+        let items: Vec<u32> = (0..4).collect();
+        let out = par_map_isolated(3, &items, |_| -> u32 { panic!("every item") });
+        assert!(out
+            .iter()
+            .all(|r| r.as_ref().map_err(String::as_str) == Err("every item")));
+    }
+
+    #[test]
+    fn isolated_string_and_str_payloads_stringify() {
+        let out = par_map_isolated(1, &[0u8, 1], |&x| -> u8 {
+            if x == 0 {
+                panic!("static str")
+            } else {
+                panic!("{}", format!("formatted {x}"))
+            }
+        });
+        assert_eq!(out[0].as_ref().map_err(String::as_str), Err("static str"));
+        assert_eq!(out[1].as_ref().map_err(String::as_str), Err("formatted 1"));
     }
 }

@@ -200,32 +200,24 @@ impl GcnRunner {
     ///
     /// Propagates configuration/shape errors from the engines.
     pub fn prepare(&self, input: &GcnInput) -> Result<(GcnPlan, GcnRunOutcome), AccelError> {
-        let (a_plan, outcome) = if self.config.shards == ShardPolicy::Single {
-            let mut engine_a = FastEngine::new(self.config.clone());
-            let outcome = run_layers(
-                &self.config,
-                &input.a_norm_csc,
-                &input.weights,
-                &input.x1,
-                &mut engine_a,
-            )?;
-            (
-                APlan::Single(engine_a.freeze_plan(&input.a_norm_csc)?),
-                outcome,
-            )
+        let (a_plan, outcome, degraded) = if self.config.shards == ShardPolicy::Single {
+            let (a_plan, outcome) = Self::prepare_single(&self.config, input)?;
+            (a_plan, outcome, None)
         } else {
-            let mut engine_a = ShardedEngine::new(self.config.clone());
-            let outcome = run_layers(
-                &self.config,
-                &input.a_norm_csc,
-                &input.weights,
-                &input.x1,
-                &mut engine_a,
-            )?;
-            (
-                APlan::Sharded(engine_a.freeze_plan(&input.a_norm_csc)?),
-                outcome,
-            )
+            match Self::prepare_sharded(&self.config, input) {
+                Ok((a_plan, outcome)) => (a_plan, outcome, None),
+                Err(reason) => {
+                    // Degradation ladder, rung 2 (DESIGN.md §10): a failing
+                    // sharded prepare falls back to an unsharded plan — the
+                    // tenant gets a correct (bit-identical) plan on one
+                    // device instead of an error, and the fallback is
+                    // recorded on the plan / PrepareReport.
+                    let mut single = self.config.clone();
+                    single.shards = ShardPolicy::Single;
+                    let (a_plan, outcome) = Self::prepare_single(&single, input)?;
+                    (a_plan, outcome, Some(reason.to_string()))
+                }
+            }
         };
         Ok((
             GcnPlan {
@@ -233,9 +225,67 @@ impl GcnRunner {
                 a_norm_csc: input.a_norm_csc.clone(),
                 weights: input.weights.clone(),
                 a_plan,
+                degraded,
             },
             outcome,
         ))
+    }
+
+    /// The unsharded prepare path (also the sharded path's fallback).
+    fn prepare_single(
+        config: &AccelConfig,
+        input: &GcnInput,
+    ) -> Result<(APlan, GcnRunOutcome), AccelError> {
+        let mut engine_a = FastEngine::new(config.clone());
+        let outcome = run_layers(
+            config,
+            &input.a_norm_csc,
+            &input.weights,
+            &input.x1,
+            &mut engine_a,
+        )?;
+        Ok((
+            APlan::Single(engine_a.freeze_plan(&input.a_norm_csc)?),
+            outcome,
+        ))
+    }
+
+    /// The sharded prepare path, isolated behind `catch_unwind` so a
+    /// panicking shard worker (or the fault harness's `prepare:sharded`
+    /// site) surfaces as a typed error the caller can degrade on instead
+    /// of unwinding through the service.
+    fn prepare_sharded(
+        config: &AccelConfig,
+        input: &GcnInput,
+    ) -> Result<(APlan, GcnRunOutcome), AccelError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(faults) = config.faults {
+                // Any fault kind at this site means "the sharded prepare
+                // dies": exercised as a panic so the recovery path under
+                // test is the real catch_unwind boundary.
+                if faults.decide("prepare:sharded", 0).is_some() {
+                    panic!("injected fault: sharded prepare");
+                }
+            }
+            let mut engine_a = ShardedEngine::new(config.clone());
+            let outcome = run_layers(
+                config,
+                &input.a_norm_csc,
+                &input.weights,
+                &input.x1,
+                &mut engine_a,
+            )?;
+            Ok((
+                APlan::Sharded(engine_a.freeze_plan(&input.a_norm_csc)?),
+                outcome,
+            ))
+        }))
+        .unwrap_or_else(|payload| {
+            Err(AccelError::WorkerPanicked {
+                site: "prepare:sharded".into(),
+                message: crate::exec::panic_message(payload.as_ref()),
+            })
+        })
     }
 }
 
@@ -299,6 +349,9 @@ pub struct GcnPlan {
     a_norm_csc: Csc,
     weights: Vec<DenseMatrix>,
     a_plan: APlan,
+    /// `Some(reason)` when a failing sharded prepare degraded to this
+    /// unsharded plan (see [`GcnPlan::degraded`]).
+    degraded: Option<String>,
 }
 
 impl GcnPlan {
@@ -339,6 +392,14 @@ impl GcnPlan {
             APlan::Single(_) => None,
             APlan::Sharded(plan) => Some(plan),
         }
+    }
+
+    /// Why the plan was degraded: `Some(reason)` when the configured
+    /// sharded prepare failed and the runner fell back to this unsharded
+    /// plan (outputs stay bit-identical; only the simulated device count
+    /// changes). `None` for a plan prepared exactly as configured.
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
     }
 
     /// Number of `A`-side shard devices (1 when unsharded).

@@ -60,6 +60,7 @@ mod energy;
 mod engine;
 mod error;
 pub mod exec;
+pub mod fault;
 mod gcn_run;
 mod mapping;
 pub mod pipeline;
@@ -71,8 +72,8 @@ pub mod trace;
 
 pub use area::{AreaBreakdown, AreaModel};
 pub use config::{
-    AccelConfig, AccelConfigBuilder, Design, MappingKind, ServeOptions, ShardPolicy, SltPolicy,
-    StallMode,
+    AccelConfig, AccelConfigBuilder, Design, MappingKind, RetryPolicy, ServeOptions, ShardPolicy,
+    SltPolicy, StallMode,
 };
 pub use energy::{cycles_to_ms, EnergyModel};
 pub use engine::{
@@ -80,12 +81,14 @@ pub use engine::{
     ShardedSession, SpmmEngine, SpmmOutcome, SpmmSession, TdqMode, TunedPlan,
 };
 pub use error::AccelError;
-pub use exec::{num_threads, par_map, par_map_threads};
+pub use exec::{num_threads, par_map, par_map_isolated, par_map_threads};
+pub use fault::{FaultKind, FaultPlan};
 pub use gcn_run::{verify_against_reference, GcnPlan, GcnRunOutcome, GcnRunner};
 pub use mapping::RowMap;
 pub use rebalance::{AutoTuner, LocalSharing, RemoteSwitcher, RoundProfile, SwitchPlan};
 pub use serve::{
-    BatchOutcome, CacheStats, GcnService, LatencyPercentiles, PrepareReport, RequestOutcome,
+    validate_ingest, AdmissionOutcome, BatchOutcome, CacheStats, GcnService, IsolatedBatch,
+    LatencyPercentiles, PrepareReport, RequestOutcome,
 };
 pub use stats::{LayerStats, RoundStats, RunStats, SpmmStats};
 pub use sweep::{sweep_csv, DesignSweep, SweepPoint};

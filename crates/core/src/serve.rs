@@ -36,17 +36,44 @@
 //! independent cold [`GcnRunner::run`] calls on the same inputs; only the
 //! *cost* differs (no per-request tuning, the replay cache is warm from
 //! request 1).
+//!
+//! # Fault tolerance (DESIGN.md §10)
+//!
+//! The service degrades instead of dying:
+//!
+//! * **Ingest validation** — [`validate_ingest`] rejects NaN/±inf values,
+//!   out-of-bounds indices, and dimension mismatches with
+//!   [`AccelError::InvalidInput`] at admission, before a bad operand can
+//!   enter the plan cache or produce a silent-NaN output.
+//! * **Request isolation** — [`drain_isolated`](GcnService::drain_isolated)
+//!   and [`serve_isolated`](GcnService::serve_isolated) execute each
+//!   request behind [`exec::par_map_isolated`]: a panicking request yields
+//!   its own [`AccelError::WorkerPanicked`] entry while every other
+//!   request completes (and poison-recovering locks keep the shared plan
+//!   serving afterwards).
+//! * **Deadlines** — with [`ServeOptions::deadline`] set, a request whose
+//!   queue wait exceeds the budget is shed with
+//!   [`AccelError::DeadlineExceeded`] instead of executing stale work.
+//! * **Bounded retry** —
+//!   [`enqueue_with_backoff`](GcnService::enqueue_with_backoff) absorbs
+//!   transient [`AccelError::QueueFull`] rejections with exponential
+//!   backoff plus a forced drain per retry.
+//! * **Fault injection** — an armed
+//!   [`FaultPlan`](crate::fault::FaultPlan) (config `faults`) injects
+//!   deterministic panics/NaN payloads/delays at the `drain`/`serve`
+//!   sites; disabled injection is a single `Option` test per request.
 
-use crate::config::{AccelConfig, ServeOptions};
+use crate::config::{AccelConfig, RetryPolicy, ServeOptions};
 use crate::engine::steady::structure_fingerprint;
 use crate::error::AccelError;
 use crate::exec;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::gcn_run::{GcnPlan, GcnRunOutcome, GcnRunner};
 use awb_gcn_model::GcnInput;
-use awb_sparse::Csr;
+use awb_sparse::{Csc, Csr, DenseMatrix};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Report of one graph-preparation (warm-up) pass.
 #[derive(Debug, Clone)]
@@ -72,6 +99,10 @@ pub struct PrepareReport {
     pub combination_shards: usize,
     /// Host wall-clock of the warm-up pass in seconds.
     pub wall_s: f64,
+    /// `Some(reason)` when the configured sharded prepare failed and the
+    /// runner degraded to an unsharded plan (see [`GcnPlan::degraded`]);
+    /// `None` when the plan was prepared exactly as configured.
+    pub degraded: Option<String>,
 }
 
 /// One served request's result.
@@ -215,6 +246,271 @@ impl BatchOutcome {
     }
 }
 
+/// A fault-isolated batch: per-request `Result`s in request order. The
+/// isolation contract: every `Ok` entry is bit-identical to an independent
+/// cold run of that request, every `Err` entry is a typed [`AccelError`]
+/// (a shed deadline, a caught worker panic, a suppressed non-finite
+/// output) — and one request's failure never disturbs its neighbours.
+#[derive(Debug, Clone)]
+pub struct IsolatedBatch {
+    /// Per-request results, `requests[i]` ↦ `results[i]` at any thread
+    /// count.
+    pub results: Vec<Result<RequestOutcome, AccelError>>,
+    /// Host wall-clock of the whole batch in seconds.
+    pub wall_s: f64,
+    /// Clock frequency used for latency conversion (MHz).
+    pub freq_mhz: f64,
+}
+
+impl IsolatedBatch {
+    /// The successfully completed requests, in request order.
+    pub fn completed(&self) -> impl Iterator<Item = &RequestOutcome> {
+        self.results.iter().filter_map(|r| r.as_ref().ok())
+    }
+
+    /// The failed requests as `(index, error)`, in request order.
+    pub fn failed(&self) -> impl Iterator<Item = (usize, &AccelError)> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
+    }
+
+    /// Number of failed requests.
+    pub fn failed_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+
+    /// Collapses to the fail-fast [`BatchOutcome`] view: the whole batch,
+    /// or the first per-request error. The legacy
+    /// [`drain`](GcnService::drain)/[`serve`](GcnService::serve) semantics
+    /// are exactly this collapse.
+    ///
+    /// # Errors
+    ///
+    /// The first failed request's error, when any request failed.
+    pub fn into_batch(self) -> Result<BatchOutcome, AccelError> {
+        let mut requests = Vec::with_capacity(self.results.len());
+        for result in self.results {
+            requests.push(result?);
+        }
+        Ok(BatchOutcome {
+            requests,
+            wall_s: self.wall_s,
+            freq_mhz: self.freq_mhz,
+        })
+    }
+}
+
+/// Result of a backoff-retried admission
+/// (see [`GcnService::enqueue_with_backoff`]).
+#[derive(Debug, Clone)]
+pub struct AdmissionOutcome {
+    /// Queue position the request was finally admitted at.
+    pub position: usize,
+    /// Retries it took (0 = admitted first try).
+    pub retries: usize,
+    /// Batches force-drained to free queue capacity, one per retry (the
+    /// degradation trade: smaller batches for admission under pressure).
+    pub drained: Vec<IsolatedBatch>,
+}
+
+/// Rejects non-finite values in a slice with a labelled
+/// [`AccelError::InvalidInput`].
+fn check_finite(label: &str, values: &[f32]) -> Result<(), AccelError> {
+    match values.iter().position(|v| !v.is_finite()) {
+        None => Ok(()),
+        Some(i) => Err(AccelError::InvalidInput(format!(
+            "{label} contains a non-finite value ({}) at position {i}",
+            values[i]
+        ))),
+    }
+}
+
+/// Validates one CSC operand: finite values, in-bounds row indices.
+fn check_csc(label: &str, m: &Csc) -> Result<(), AccelError> {
+    check_finite(label, m.values())?;
+    if let Some(&bad) = m.row_idx().iter().find(|&&r| r as usize >= m.rows()) {
+        return Err(AccelError::InvalidInput(format!(
+            "{label} row index {bad} is out of bounds for {} rows",
+            m.rows()
+        )));
+    }
+    Ok(())
+}
+
+/// Validates one CSR operand: finite values, in-bounds column indices.
+fn check_csr(label: &str, m: &Csr) -> Result<(), AccelError> {
+    check_finite(label, m.values())?;
+    if let Some(&bad) = m.col_idx().iter().find(|&&c| c as usize >= m.cols()) {
+        return Err(AccelError::InvalidInput(format!(
+            "{label} column index {bad} is out of bounds for {} columns",
+            m.cols()
+        )));
+    }
+    Ok(())
+}
+
+/// Validates one feature-matrix request against the plan it will run on:
+/// shape agreement plus [`check_csr`].
+fn check_request(plan: &GcnPlan, x1: &Csr) -> Result<(), AccelError> {
+    let rows = plan.graph().rows();
+    if x1.rows() != rows {
+        return Err(AccelError::InvalidInput(format!(
+            "request x1 has {} rows but the graph has {rows} nodes",
+            x1.rows()
+        )));
+    }
+    if let Some(w1) = plan.weights().first() {
+        if x1.cols() != w1.rows() {
+            return Err(AccelError::InvalidInput(format!(
+                "request x1 has {} feature columns but layer-1 weights expect {}",
+                x1.cols(),
+                w1.rows()
+            )));
+        }
+    }
+    check_csr("request x1", x1)
+}
+
+/// Admission-time ingest validation: rejects graphs, features, and
+/// weights carrying NaN/±inf values, out-of-bounds indices, or dimension
+/// mismatches with [`AccelError::InvalidInput`] — *before* they can enter
+/// the plan cache or produce a silent-NaN output. Called by every
+/// [`GcnService`] admission path ([`prepare`](GcnService::prepare),
+/// [`serve_graph`](GcnService::serve_graph),
+/// [`enqueue`](GcnService::enqueue)).
+///
+/// # Errors
+///
+/// [`AccelError::InvalidInput`] naming the offending operand.
+pub fn validate_ingest(input: &GcnInput) -> Result<(), AccelError> {
+    let a = &input.a_norm_csc;
+    if a.rows() != a.cols() {
+        return Err(AccelError::InvalidInput(format!(
+            "adjacency must be square, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    check_csc("adjacency", a)?;
+    if input.x1.rows() != a.rows() {
+        return Err(AccelError::InvalidInput(format!(
+            "x1 has {} rows but the graph has {} nodes",
+            input.x1.rows(),
+            a.rows()
+        )));
+    }
+    check_csr("x1", &input.x1)?;
+    let mut in_dim = input.x1.cols();
+    for (i, w) in input.weights.iter().enumerate() {
+        if w.rows() != in_dim {
+            return Err(AccelError::InvalidInput(format!(
+                "layer-{} weights have {} rows but the layer input has {} columns",
+                i + 1,
+                w.rows(),
+                in_dim
+            )));
+        }
+        check_finite(&format!("layer-{} weights", i + 1), w.as_slice())?;
+        in_dim = w.cols();
+    }
+    Ok(())
+}
+
+/// Context one isolated request executes under.
+#[derive(Clone, Copy)]
+struct ExecContext<'a> {
+    /// Fault-injection site name (`"drain"` / `"serve"`).
+    site: &'a str,
+    deadline: Option<Duration>,
+    faults: Option<FaultPlan>,
+}
+
+/// Executes one isolated request: deadline check, fault hooks, run, and
+/// the non-finite output guard. Returns `(outcome, queue_wait_s, wall_s)`.
+///
+/// An injected `Panic` deliberately unwinds from here — the caller runs
+/// this inside [`exec::par_map_isolated`], which is exactly the boundary
+/// under test.
+fn execute_one(
+    plan: &GcnPlan,
+    x1: &Csr,
+    enqueued: Instant,
+    index: usize,
+    ctx: ExecContext<'_>,
+) -> Result<(GcnRunOutcome, f64, f64), AccelError> {
+    let exec_start = Instant::now();
+    let wait = exec_start.duration_since(enqueued);
+    if let Some(budget) = ctx.deadline {
+        if wait > budget {
+            return Err(AccelError::DeadlineExceeded {
+                waited_ms: wait.as_millis() as u64,
+                budget_ms: budget.as_millis() as u64,
+            });
+        }
+    }
+    // Zero-cost when off: with `faults: None` the entire harness is this
+    // one `if let` per request.
+    if let Some(faults) = ctx.faults {
+        match faults.decide(ctx.site, index as u64) {
+            Some(FaultKind::Panic) => panic!("injected fault: {}[{index}]", ctx.site),
+            Some(FaultKind::Delay) => std::thread::sleep(Duration::from_millis(
+                faults.delay_ms(ctx.site, index as u64),
+            )),
+            _ => {}
+        }
+    }
+    let mut outcome = plan.run(x1)?;
+    if let Some(faults) = ctx.faults {
+        if faults.decide(ctx.site, index as u64) == Some(FaultKind::NanPayload) {
+            // Corrupt the response in flight — the guard below must catch
+            // it; a NaN payload may never reach the caller as data.
+            corrupt_output(&mut outcome.output);
+        }
+        if !outcome.output.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(AccelError::NonFiniteOutput {
+                site: format!("{}[{index}]", ctx.site),
+            });
+        }
+    }
+    Ok((
+        outcome,
+        wait.as_secs_f64(),
+        exec_start.elapsed().as_secs_f64(),
+    ))
+}
+
+/// The fault harness's NaN-payload corruption (first element, or a no-op
+/// on an empty output).
+fn corrupt_output(output: &mut DenseMatrix) {
+    if output.rows() > 0 && output.cols() > 0 {
+        output.set(0, 0, f32::NAN);
+    }
+}
+
+/// Collapses one [`exec::par_map_isolated`] slot — `Err(panic message)`,
+/// or an inner per-request result — into the typed per-request `Result`.
+fn collapse_slot(
+    site: &str,
+    index: usize,
+    slot: Result<Result<(GcnRunOutcome, f64, f64), AccelError>, String>,
+) -> Result<RequestOutcome, AccelError> {
+    match slot {
+        Ok(Ok((outcome, queue_wait_s, wall_s))) => Ok(RequestOutcome {
+            index,
+            outcome,
+            wall_s,
+            queue_wait_s,
+        }),
+        Ok(Err(e)) => Err(e),
+        Err(message) => Err(AccelError::WorkerPanicked {
+            site: format!("{site}[{index}]"),
+            message,
+        }),
+    }
+}
+
 /// Aggregate counters of the fingerprint-keyed plan cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -339,6 +635,7 @@ impl GcnService {
         input: &GcnInput,
     ) -> Result<PrepareReport, AccelError> {
         let name = name.into();
+        validate_ingest(input)?;
         let start = Instant::now();
         let (plan, warmup) = GcnRunner::new(self.config.clone()).prepare(input)?;
         // The merged X×W stats carry the total PE count over combination
@@ -359,6 +656,7 @@ impl GcnService {
             shards: plan.shard_count(),
             combination_shards,
             wall_s: start.elapsed().as_secs_f64(),
+            degraded: plan.degraded().map(String::from),
             warmup,
         };
         self.graphs.insert(name, plan);
@@ -479,7 +777,11 @@ impl GcnService {
         input: &GcnInput,
         requests: &[Csr],
     ) -> Result<BatchOutcome, AccelError> {
+        validate_ingest(input)?;
         let plan = self.lookup_or_prepare(input)?;
+        for x1 in requests {
+            check_request(&plan, x1)?;
+        }
         serve_on_plan(&plan, requests)
     }
 
@@ -495,20 +797,66 @@ impl GcnService {
     ///
     /// Returns [`AccelError::QueueFull`] when the queue is at
     /// [`ServeOptions::queue_depth`] (the request is NOT admitted);
-    /// propagates warm-up errors from a cache miss.
+    /// [`AccelError::InvalidInput`] when ingest validation rejects the
+    /// graph, weights, or request features (see [`validate_ingest`] — a
+    /// bad operand never reaches the plan cache); propagates warm-up
+    /// errors from a cache miss.
     pub fn enqueue(&mut self, input: &GcnInput, x1: Csr) -> Result<usize, AccelError> {
         if self.queue.len() >= self.options.queue_depth {
             return Err(AccelError::QueueFull {
                 depth: self.options.queue_depth,
             });
         }
+        validate_ingest(input)?;
         let plan = self.lookup_or_prepare(input)?;
+        check_request(&plan, &x1)?;
         self.queue.push_back(QueuedRequest {
             plan,
             x1,
             enqueued: Instant::now(),
         });
         Ok(self.queue.len() - 1)
+    }
+
+    /// [`enqueue`](GcnService::enqueue) with bounded retry-with-backoff
+    /// for transient [`AccelError::QueueFull`] rejections: each retry
+    /// sleeps the policy's (exponentially growing) backoff and then
+    /// force-drains the queue — admitted work completes early to free
+    /// capacity, trading batch size for admission under pressure. Any
+    /// error other than `QueueFull` (validation, warm-up) fails
+    /// immediately: retrying a request that was *rejected*, not
+    /// *backpressured*, would never succeed.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::InvalidConfig`] for an invalid policy; the last
+    /// [`AccelError::QueueFull`] when every retry was exhausted; any
+    /// non-transient admission error, immediately.
+    pub fn enqueue_with_backoff(
+        &mut self,
+        input: &GcnInput,
+        x1: &Csr,
+        policy: &RetryPolicy,
+    ) -> Result<AdmissionOutcome, AccelError> {
+        policy.validate()?;
+        let mut drained = Vec::new();
+        for attempt in 0..=policy.max_retries {
+            match self.enqueue(input, x1.clone()) {
+                Ok(position) => {
+                    return Ok(AdmissionOutcome {
+                        position,
+                        retries: attempt,
+                        drained,
+                    })
+                }
+                Err(AccelError::QueueFull { .. }) if attempt < policy.max_retries => {
+                    std::thread::sleep(policy.backoff_for(attempt));
+                    drained.push(self.drain_isolated());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("the final attempt either admits or returns its error")
     }
 
     /// Admitted requests currently waiting for [`drain`](GcnService::drain).
@@ -521,37 +869,50 @@ impl GcnService {
     /// thread count; each request's `queue_wait_s` spans admission to
     /// execution start. An empty queue yields an empty (guarded) batch.
     ///
+    /// The fail-fast collapse of
+    /// [`drain_isolated`](GcnService::drain_isolated): prefer that method
+    /// when one faulty request should not discard its neighbours' results.
+    ///
     /// # Errors
     ///
     /// Propagates the first per-request error (the queue is emptied
     /// either way — admitted work is never silently re-run).
     pub fn drain(&mut self) -> Result<BatchOutcome, AccelError> {
+        self.drain_isolated().into_batch()
+    }
+
+    /// [`drain`](GcnService::drain) with per-request isolation: every
+    /// admitted request gets its own `Result` slot — a worker panic is
+    /// caught as [`AccelError::WorkerPanicked`], a blown
+    /// [`ServeOptions::deadline`] is shed as
+    /// [`AccelError::DeadlineExceeded`], and under an armed
+    /// [`FaultPlan`](crate::fault::FaultPlan) a corrupted response is
+    /// suppressed as [`AccelError::NonFiniteOutput`] — while every healthy
+    /// request completes bit-identical to a cold run. The queue is emptied
+    /// unconditionally.
+    pub fn drain_isolated(&mut self) -> IsolatedBatch {
         let admitted: Vec<QueuedRequest> = self.queue.drain(..).collect();
         let threads = self.config.threads.unwrap_or_else(exec::num_threads);
+        let ctx = ExecContext {
+            site: "drain",
+            deadline: self.options.deadline,
+            faults: self.config.faults,
+        };
+        let indexed: Vec<(usize, QueuedRequest)> = admitted.into_iter().enumerate().collect();
         let start = Instant::now();
-        let results = exec::par_map_threads(threads, &admitted, |q| {
-            let exec_start = Instant::now();
-            let wait = exec_start.duration_since(q.enqueued).as_secs_f64();
-            q.plan
-                .run(&q.x1)
-                .map(|outcome| (outcome, wait, exec_start.elapsed().as_secs_f64()))
+        let slots = exec::par_map_isolated(threads, &indexed, |(index, q)| {
+            execute_one(&q.plan, &q.x1, q.enqueued, *index, ctx)
         });
         let wall_s = start.elapsed().as_secs_f64();
-        let mut outcomes = Vec::with_capacity(results.len());
-        for (index, result) in results.into_iter().enumerate() {
-            let (outcome, queue_wait_s, req_wall) = result?;
-            outcomes.push(RequestOutcome {
-                index,
-                outcome,
-                wall_s: req_wall,
-                queue_wait_s,
-            });
-        }
-        Ok(BatchOutcome {
-            requests: outcomes,
+        IsolatedBatch {
+            results: slots
+                .into_iter()
+                .enumerate()
+                .map(|(index, slot)| collapse_slot("drain", index, slot))
+                .collect(),
             wall_s,
             freq_mhz: self.config.freq_mhz,
-        })
+        }
     }
 
     /// Serves a batch of feature-matrix requests against the prepared
@@ -564,44 +925,87 @@ impl GcnService {
     /// Returns [`AccelError::InvalidConfig`] when `graph` is not prepared;
     /// propagates the first per-request error otherwise.
     pub fn serve(&self, graph: &str, requests: &[Csr]) -> Result<BatchOutcome, AccelError> {
-        let plan = self.graphs.get(graph).ok_or_else(|| {
+        let plan = self.named_plan(graph)?;
+        serve_on_plan(plan, requests)
+    }
+
+    /// [`serve`](GcnService::serve) with per-request isolation (the
+    /// batch-serve analogue of
+    /// [`drain_isolated`](GcnService::drain_isolated); each request's
+    /// `queue_wait_s` spans batch start to worker pickup, and requests are
+    /// validated against the plan before execution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] when `graph` is not prepared,
+    /// or [`AccelError::InvalidInput`] when a request fails validation —
+    /// both reject the whole batch up front; per-request faults are
+    /// reported inside the returned [`IsolatedBatch`] instead.
+    pub fn serve_isolated(
+        &self,
+        graph: &str,
+        requests: &[Csr],
+    ) -> Result<IsolatedBatch, AccelError> {
+        let plan = self.named_plan(graph)?;
+        for x1 in requests {
+            check_request(plan, x1)?;
+        }
+        Ok(serve_on_plan_isolated(
+            plan,
+            requests,
+            self.options.deadline,
+        ))
+    }
+
+    /// The prepared plan for `graph`, as a typed error when absent.
+    fn named_plan(&self, graph: &str) -> Result<&GcnPlan, AccelError> {
+        self.graphs.get(graph).ok_or_else(|| {
             AccelError::InvalidConfig(format!(
                 "graph `{graph}` is not prepared (known: {:?})",
                 self.graph_names()
             ))
-        })?;
-        serve_on_plan(plan, requests)
+        })
     }
 }
 
 /// The shared batch executor: fans `requests` out over the [`exec`]
 /// substrate against one plan, recording per-request queue-wait (batch
-/// start → worker pickup) and execute wall-clock.
+/// start → worker pickup) and execute wall-clock. Fail-fast collapse of
+/// [`serve_on_plan_isolated`].
 fn serve_on_plan(plan: &GcnPlan, requests: &[Csr]) -> Result<BatchOutcome, AccelError> {
+    serve_on_plan_isolated(plan, requests, None).into_batch()
+}
+
+/// The isolated batch executor behind [`GcnService::serve_isolated`] (and,
+/// collapsed, every named-plan serve path): per-request `Result`s, faults
+/// injected at the `"serve"` site when the plan's config arms a
+/// [`FaultPlan`](crate::fault::FaultPlan).
+fn serve_on_plan_isolated(
+    plan: &GcnPlan,
+    requests: &[Csr],
+    deadline: Option<Duration>,
+) -> IsolatedBatch {
     let threads = plan.config().threads.unwrap_or_else(exec::num_threads);
+    let ctx = ExecContext {
+        site: "serve",
+        deadline,
+        faults: plan.config().faults,
+    };
+    let indexed: Vec<(usize, &Csr)> = requests.iter().enumerate().collect();
     let start = Instant::now();
-    let results = exec::par_map_threads(threads, requests, |x1| {
-        let exec_start = Instant::now();
-        let wait = exec_start.duration_since(start).as_secs_f64();
-        plan.run(x1)
-            .map(|outcome| (outcome, wait, exec_start.elapsed().as_secs_f64()))
+    let slots = exec::par_map_isolated(threads, &indexed, |(index, x1)| {
+        execute_one(plan, x1, start, *index, ctx)
     });
     let wall_s = start.elapsed().as_secs_f64();
-    let mut outcomes = Vec::with_capacity(results.len());
-    for (index, result) in results.into_iter().enumerate() {
-        let (outcome, queue_wait_s, req_wall) = result?;
-        outcomes.push(RequestOutcome {
-            index,
-            outcome,
-            wall_s: req_wall,
-            queue_wait_s,
-        });
-    }
-    Ok(BatchOutcome {
-        requests: outcomes,
+    IsolatedBatch {
+        results: slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| collapse_slot("serve", index, slot))
+            .collect(),
         wall_s,
         freq_mhz: plan.config().freq_mhz,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -763,7 +1167,8 @@ mod tests {
                 cfg.clone(),
                 ServeOptions {
                     queue_depth: 0,
-                    cache_budget_bytes: None
+                    cache_budget_bytes: None,
+                    deadline: None,
                 }
             ),
             Err(AccelError::InvalidConfig(_))
@@ -773,7 +1178,8 @@ mod tests {
                 cfg.clone(),
                 ServeOptions {
                     queue_depth: 4,
-                    cache_budget_bytes: Some(0)
+                    cache_budget_bytes: Some(0),
+                    deadline: None,
                 }
             ),
             Err(AccelError::InvalidConfig(_))
@@ -783,6 +1189,7 @@ mod tests {
             ServeOptions {
                 queue_depth: 4,
                 cache_budget_bytes: Some(1 << 20),
+                deadline: None,
             },
         )
         .unwrap();
@@ -817,6 +1224,7 @@ mod tests {
             ServeOptions {
                 queue_depth: 3,
                 cache_budget_bytes: None,
+                deadline: None,
             },
         )
         .unwrap();

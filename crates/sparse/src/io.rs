@@ -33,7 +33,8 @@ enum MmSymmetry {
 ///
 /// Returns [`SparseError::MalformedFormat`] for syntax errors, unsupported
 /// header variants (`array` storage, `complex`/`hermitian`/`skew-symmetric`
-/// qualifiers), out-of-range indices, or entry-count mismatches.
+/// qualifiers), out-of-range indices, non-finite (NaN/±inf) values, or
+/// entry-count mismatches.
 ///
 /// # Example
 ///
@@ -106,8 +107,18 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Coo> {
                 let t = tokens
                     .next()
                     .ok_or_else(|| SparseError::MalformedFormat("missing value token".into()))?;
-                t.parse::<f32>()
-                    .map_err(|_| SparseError::MalformedFormat(format!("bad value `{t}`")))?
+                let v = t
+                    .parse::<f32>()
+                    .map_err(|_| SparseError::MalformedFormat(format!("bad value `{t}`")))?;
+                // `f32::from_str` happily parses "NaN"/"inf"; a non-finite
+                // adjacency or feature value would silently poison every
+                // SPMM it touches, so reject at the boundary.
+                if !v.is_finite() {
+                    return Err(SparseError::MalformedFormat(format!(
+                        "non-finite value `{t}` (NaN/inf entries are rejected at ingest)"
+                    )));
+                }
+                v
             }
         };
         // Matrix Market is 1-indexed.
@@ -278,6 +289,55 @@ mod tests {
         // Missing value.
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n";
         assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_files() {
+        // Header only.
+        let text = "%%MatrixMarket matrix coordinate real general\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::MalformedFormat(_))
+        ));
+        // Size line cut mid-token ("2 2" instead of "2 2 nnz").
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+        // Entry line truncated after the column index.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+        // File ends before all declared entries arrive.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices_without_panicking() {
+        for entry in ["3 1 1.0", "1 9 1.0", "100 100 1.0"] {
+            let text = format!("%%MatrixMarket matrix coordinate real general\n2 2 1\n{entry}\n");
+            assert!(matches!(
+                read_matrix_market(text.as_bytes()),
+                Err(SparseError::IndexOutOfBounds { .. } | SparseError::MalformedFormat(_))
+            ));
+        }
+        // Symmetric mirror of an out-of-range entry must also error, not
+        // panic.
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 3 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in ["NaN", "nan", "inf", "-inf", "infinity", "1e999"] {
+            let text = format!("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 {bad}\n");
+            let err = read_matrix_market(text.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, SparseError::MalformedFormat(ref m) if m.contains("non-finite")),
+                "{bad} -> {err:?}"
+            );
+        }
+        // Finite extremes still pass.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.4e38\n";
+        assert!(read_matrix_market(text.as_bytes()).is_ok());
     }
 
     #[test]

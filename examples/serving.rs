@@ -87,6 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServeOptions {
             queue_depth: 16,
             cache_budget_bytes: None,
+            deadline: None,
         },
     )?;
     for graph in [&input, &tenant, &input] {

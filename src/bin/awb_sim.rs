@@ -6,8 +6,10 @@
 //!                 [--shards S] [--xw-shards S] [--mem-budget MB]
 //! awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
 //! awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N]
-//!                 [--shards S] [--xw-shards S] [--mem-budget MB] [--compare-cold]
+//!                 [--shards S] [--xw-shards S] [--mem-budget MB] [--faults SEED]
+//!                 [--compare-cold]
 //! awb-sim serve   <dataset> --trace [--queue-depth D] [--cache-plans MB]
+//!                 [--deadline-ms MS] [--retries N] [--faults SEED]
 //!                 [--compare-cold]
 //! awb-sim export  <dataset> <path.mtx> [--scale F] [--seed N]
 //! ```
@@ -23,13 +25,20 @@
 //! `--mem-budget MB` instead derives *both* shard counts from an on-chip
 //! memory budget of MB megabytes per device (mutually exclusive with the
 //! fixed counts). Outputs are bit-identical in every combination.
+//!
+//! Fault tolerance (DESIGN.md §10): `--faults SEED` arms the deterministic
+//! fault-injection plan (seeded panics / NaN payloads / delays); faulted
+//! requests surface as typed `FAULTED` lines while the rest of the batch
+//! completes bit-identically. Under `--trace`, `--deadline-ms` sheds
+//! requests whose queue wait blows the budget and `--retries` retries
+//! `QueueFull` admissions with exponential backoff.
 
 use std::error::Error;
 use std::process::ExitCode;
 
 use awb_gcn_repro::accel::{
-    trace, AccelConfig, AccelError, Design, GcnRunner, GcnService, LatencyPercentiles,
-    RequestOutcome, ServeOptions, ShardPolicy,
+    trace, AccelConfig, AccelError, Design, FaultPlan, GcnRunner, GcnService, IsolatedBatch,
+    LatencyPercentiles, RequestOutcome, RetryPolicy, ServeOptions, ShardPolicy,
 };
 use awb_gcn_repro::datasets::rng::Pcg64;
 use awb_gcn_repro::datasets::{DatasetSpec, GeneratedDataset, PaperDataset};
@@ -44,8 +53,9 @@ const USAGE: &str = "usage:
   awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
   awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N]
                   [--scale F] [--seed N] [--shards S] [--xw-shards S]
-                  [--mem-budget MB] [--compare-cold]
+                  [--mem-budget MB] [--faults SEED] [--compare-cold]
   awb-sim serve   <dataset> --trace [--queue-depth D] [--cache-plans MB]
+                  [--deadline-ms MS] [--retries N] [--faults SEED]
                   [--compare-cold]
   awb-sim export  <dataset> <path.mtx> [--scale F] [--seed N]
 
@@ -74,7 +84,17 @@ const USAGE: &str = "usage:
   --queue-depth: admission-queue depth under --trace (>= 1; default 8 so
               the schedule exercises backpressure)
   --cache-plans: plan-cache memory budget in MB under --trace (>= 1;
-              default unbounded)";
+              default unbounded)
+  --deadline-ms: per-request queue-wait budget in ms under --trace (>= 1);
+              requests that wait longer are shed with a typed
+              DeadlineExceeded error instead of executing stale
+  --retries:  retry QueueFull admissions up to N times under --trace
+              (>= 1), with exponential backoff and a forced drain per
+              retry (smaller batches traded for admission)
+  --faults:   arm the deterministic fault-injection plan with this seed
+              (>= 1): seeded worker panics, NaN payloads, and synthetic
+              delays; faulted requests yield typed errors, the rest of
+              the batch completes bit-identically";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -124,6 +144,9 @@ struct Options {
     trace: bool,
     queue_depth: Option<usize>,
     cache_plans_mb: Option<usize>,
+    deadline_ms: Option<u64>,
+    retries: Option<usize>,
+    faults: Option<u64>,
     extra_positional: Option<String>,
 }
 
@@ -146,6 +169,9 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     let mut trace = false;
     let mut queue_depth = None;
     let mut cache_plans_mb = None;
+    let mut deadline_ms = None;
+    let mut retries = None;
+    let mut faults = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -167,6 +193,9 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
             "--cache-plans" => {
                 cache_plans_mb = Some(next_value(&mut it, "--cache-plans")?.parse()?)
             }
+            "--deadline-ms" => deadline_ms = Some(next_value(&mut it, "--deadline-ms")?.parse()?),
+            "--retries" => retries = Some(next_value(&mut it, "--retries")?.parse()?),
+            "--faults" => faults = Some(next_value(&mut it, "--faults")?.parse()?),
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`").into())
             }
@@ -199,6 +228,18 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     if !trace && (queue_depth.is_some() || cache_plans_mb.is_some()) {
         return Err("--queue-depth/--cache-plans only apply under --trace".into());
     }
+    if deadline_ms == Some(0) {
+        return Err("--deadline-ms must be >= 1".into());
+    }
+    if retries == Some(0) {
+        return Err("--retries must be >= 1".into());
+    }
+    if faults == Some(0) {
+        return Err("--faults seed must be >= 1".into());
+    }
+    if !trace && (deadline_ms.is_some() || retries.is_some()) {
+        return Err("--deadline-ms/--retries only apply under --trace".into());
+    }
     if shards == Some(0) {
         return Err("--shards must be >= 1".into());
     }
@@ -229,6 +270,9 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
         trace,
         queue_depth,
         cache_plans_mb,
+        deadline_ms,
+        retries,
+        faults,
         extra_positional,
     })
 }
@@ -303,6 +347,9 @@ fn config_for(opts: &Options) -> Result<AccelConfig, Box<dyn Error>> {
         };
         config.shards = ShardPolicy::MemoryBudget;
         config.combination_shards = ShardPolicy::MemoryBudget;
+    }
+    if let Some(seed) = opts.faults {
+        config.faults = Some(FaultPlan::new(seed));
     }
     Ok(config)
 }
@@ -439,6 +486,12 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
     let opts = parse_options(args)?;
     let (spec, data, input) = load(&opts)?;
     let config = config_for(&opts)?;
+    if opts.faults.is_some() {
+        // Injected panics are caught at the isolation boundary and
+        // reported as typed FAULTED lines; the default hook's backtrace
+        // spam would bury them.
+        std::panic::set_hook(Box::new(|_| {}));
+    }
     if opts.trace {
         return serve_trace(&opts, &spec, config);
     }
@@ -481,15 +534,20 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
     );
 
     let serve_start = std::time::Instant::now();
-    let mut served = Vec::with_capacity(opts.requests);
+    // Isolated serving: a faulted request surfaces as its slot's typed
+    // error while the rest of the batch completes (with --faults off
+    // every slot is Ok and this is the same fail-safe path).
+    let mut served: Vec<Result<RequestOutcome, AccelError>> = Vec::with_capacity(opts.requests);
     for chunk in requests.chunks(batch_size) {
-        let batch = service.serve(&spec.name, chunk)?;
+        let batch = service.serve_isolated(&spec.name, chunk)?;
         // Per-batch indices restart at 0; rebase them so `index` stays
         // the request's position in the whole stream.
         let base = served.len();
-        served.extend(batch.requests.into_iter().map(|mut r| {
-            r.index += base;
-            r
+        served.extend(batch.results.into_iter().map(|slot| {
+            slot.map(|mut r| {
+                r.index += base;
+                r
+            })
         }));
     }
     let serve_wall = serve_start.elapsed().as_secs_f64();
@@ -499,18 +557,36 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
         served.len(),
         opts.requests.div_ceil(batch_size),
     );
-    for (i, r) in served.iter().enumerate() {
+    for (i, slot) in served.iter().enumerate() {
+        match slot {
+            Ok(r) => println!(
+                "  request {i:>3}: {:>10} cycles ({:.4} ms @{} MHz) util {:>5.1}%",
+                r.outcome.stats.total_cycles(),
+                r.outcome.latency_ms(config.freq_mhz),
+                config.freq_mhz,
+                r.outcome.stats.avg_utilization() * 100.0,
+            ),
+            Err(e) => println!("  request {i:>3}: FAULTED — {e}"),
+        }
+    }
+    let completed: Vec<&RequestOutcome> = served.iter().filter_map(|s| s.as_ref().ok()).collect();
+    let faulted = served.len() - completed.len();
+    if opts.faults.is_some() || faulted > 0 {
         println!(
-            "  request {i:>3}: {:>10} cycles ({:.4} ms @{} MHz) util {:>5.1}%",
-            r.outcome.stats.total_cycles(),
-            r.outcome.latency_ms(config.freq_mhz),
-            config.freq_mhz,
-            r.outcome.stats.avg_utilization() * 100.0,
+            "faults: {faulted} of {} requests faulted (typed errors), {} completed — service \
+             survived",
+            served.len(),
+            completed.len(),
         );
     }
-    let total_cycles: u64 = served.iter().map(|r| r.outcome.stats.total_cycles()).sum();
-    let mean_cycles = total_cycles as f64 / served.len() as f64;
-    let plan = service.plan(&spec.name).expect("just prepared");
+    let total_cycles: u64 = completed
+        .iter()
+        .map(|r| r.outcome.stats.total_cycles())
+        .sum();
+    let mean_cycles = total_cycles as f64 / completed.len().max(1) as f64;
+    let plan = service
+        .plan(&spec.name)
+        .ok_or("plan missing after prepare")?;
     println!(
         "aggregate: mean {:.0} cycles/request ({:.4} ms), throughput {:.1} req/s, \
          replay {} hits / {} misses",
@@ -522,7 +598,12 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
     );
 
     if opts.compare_cold {
-        let runner = GcnRunner::new(config.clone());
+        // The cold reference never injects faults: non-faulted served
+        // outputs must match a clean run bit for bit (faulted slots have
+        // no output to compare).
+        let mut cold_config = config.clone();
+        cold_config.faults = None;
+        let runner = GcnRunner::new(cold_config);
         // Build the cold inputs outside the timed region: only the
         // simulation cost (fresh engines, tuning re-paid per request) is
         // compared against the warm path.
@@ -532,19 +613,21 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
             .collect::<Result<_, _>>()?;
         let cold_start = std::time::Instant::now();
         let mut identical = true;
+        let mut compared = 0usize;
         for (i, cold_input) in cold_inputs.iter().enumerate() {
+            let Ok(warm) = &served[i] else { continue };
+            compared += 1;
             let cold = runner.run(cold_input)?;
-            if cold.output != served[i].outcome.output {
+            if cold.output != warm.outcome.output {
                 identical = false;
                 eprintln!("request {i}: served output differs from cold run!");
             }
         }
         let cold_wall = cold_start.elapsed().as_secs_f64();
-        let warm_wall: f64 = served.iter().map(|r| r.wall_s).sum();
+        let warm_wall: f64 = completed.iter().map(|r| r.wall_s).sum();
         println!(
-            "cold comparison: {} independent runs took {:.3}s wall vs {:.3}s warm \
+            "cold comparison: {compared} independent runs took {:.3}s wall vs {:.3}s warm \
              ({:.2}x mean per-request speedup), outputs {}",
-            requests.len(),
             cold_wall,
             warm_wall,
             cold_wall / warm_wall.max(1e-9),
@@ -598,16 +681,23 @@ fn make_tenant(
     })
 }
 
-/// Drains the admission queue, filing each outcome under the arrival it
-/// was admitted for (drain keeps admission order).
-fn drain_admitted(
-    service: &mut GcnService,
+/// Files an isolated drain batch under the arrivals it was admitted for
+/// (drain keeps admission order); faulted slots keep their typed error.
+fn file_drained(
+    batch: IsolatedBatch,
     admitted: &mut Vec<usize>,
-    completed: &mut [Option<RequestOutcome>],
+    completed: &mut [Option<Result<RequestOutcome, AccelError>>],
 ) -> Result<(), Box<dyn Error>> {
-    let batch = service.drain()?;
-    for (slot, outcome) in batch.requests.into_iter().enumerate() {
-        completed[admitted[slot]] = Some(outcome);
+    if batch.results.len() != admitted.len() {
+        return Err(format!(
+            "drained {} results for {} admitted arrivals",
+            batch.results.len(),
+            admitted.len()
+        )
+        .into());
+    }
+    for (slot, result) in batch.results.into_iter().enumerate() {
+        completed[admitted[slot]] = Some(result);
     }
     admitted.clear();
     Ok(())
@@ -658,6 +748,7 @@ fn serve_trace(
     let options = ServeOptions {
         queue_depth: opts.queue_depth.unwrap_or(8),
         cache_budget_bytes: opts.cache_plans_mb.map(|mb| (mb as u64) << 20),
+        deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
     };
     let mut service = GcnService::with_options(config.clone(), options)?;
     println!(
@@ -671,13 +762,39 @@ fn serve_trace(
         opts.cache_plans_mb
             .map_or("unbounded".to_string(), |mb| format!("{mb} MB")),
     );
+    if opts.deadline_ms.is_some() || opts.retries.is_some() || opts.faults.is_some() {
+        println!(
+            "fault tolerance: deadline {}, retries {}, fault seed {}",
+            opts.deadline_ms
+                .map_or("off".to_string(), |ms| format!("{ms} ms")),
+            opts.retries.map_or("off".to_string(), |n| n.to_string()),
+            opts.faults.map_or("off".to_string(), |s| s.to_string()),
+        );
+    }
 
+    let retry_policy = opts.retries.map(|max_retries| RetryPolicy {
+        max_retries,
+        ..RetryPolicy::default()
+    });
     let trace_start = std::time::Instant::now();
     let mut admitted: Vec<usize> = Vec::new();
-    let mut completed: Vec<Option<RequestOutcome>> = vec![None; schedule.len()];
+    let mut completed: Vec<Option<Result<RequestOutcome, AccelError>>> = vec![None; schedule.len()];
     let mut drains = 0usize;
     let mut backpressure_drains = 0usize;
     for (arrival, &(tenant, request)) in schedule.iter().enumerate() {
+        if let Some(policy) = &retry_policy {
+            // Bounded retry-with-backoff: each retry sleeps, then
+            // force-drains the queue to free capacity for this arrival.
+            let x1 = tenants[tenant].requests[request].clone();
+            let admission = service.enqueue_with_backoff(&tenants[tenant].input, &x1, policy)?;
+            backpressure_drains += admission.retries;
+            for batch in admission.drained {
+                drains += 1;
+                file_drained(batch, &mut admitted, &mut completed)?;
+            }
+            admitted.push(arrival);
+            continue;
+        }
         loop {
             let x1 = tenants[tenant].requests[request].clone();
             match service.enqueue(&tenants[tenant].input, x1) {
@@ -690,7 +807,7 @@ fn serve_trace(
                     // far, then retry the rejected arrival.
                     backpressure_drains += 1;
                     drains += 1;
-                    drain_admitted(&mut service, &mut admitted, &mut completed)?;
+                    file_drained(service.drain_isolated(), &mut admitted, &mut completed)?;
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -698,16 +815,18 @@ fn serve_trace(
     }
     if !admitted.is_empty() {
         drains += 1;
-        drain_admitted(&mut service, &mut admitted, &mut completed)?;
+        file_drained(service.drain_isolated(), &mut admitted, &mut completed)?;
     }
     let trace_wall = trace_start.elapsed().as_secs_f64();
 
-    let outcomes: Vec<RequestOutcome> = completed
+    let outcomes: Vec<Result<RequestOutcome, AccelError>> = completed
         .into_iter()
-        .map(|o| o.expect("every arrival was admitted and drained"))
-        .collect();
-    let wait = LatencyPercentiles::from_samples(outcomes.iter().map(|r| r.queue_wait_s));
-    let exec = LatencyPercentiles::from_samples(outcomes.iter().map(|r| r.wall_s));
+        .enumerate()
+        .map(|(arrival, o)| o.ok_or_else(|| format!("arrival {arrival} was never drained")))
+        .collect::<Result<_, _>>()?;
+    let succeeded: Vec<&RequestOutcome> = outcomes.iter().filter_map(|o| o.as_ref().ok()).collect();
+    let wait = LatencyPercentiles::from_samples(succeeded.iter().map(|r| r.queue_wait_s));
+    let exec = LatencyPercentiles::from_samples(succeeded.iter().map(|r| r.wall_s));
     let stats = service.cache_stats();
     println!(
         "drained {drains} batch(es) ({backpressure_drains} on backpressure): {} requests in \
@@ -716,6 +835,34 @@ fn serve_trace(
         trace_wall,
         outcomes.len() as f64 / trace_wall.max(1e-9),
     );
+    let mut panics = 0usize;
+    let mut non_finite = 0usize;
+    let mut shed = 0usize;
+    let mut other = 0usize;
+    for (arrival, result) in outcomes.iter().enumerate() {
+        let Err(e) = result else { continue };
+        match e {
+            AccelError::WorkerPanicked { .. } => panics += 1,
+            AccelError::NonFiniteOutput { .. } => non_finite += 1,
+            AccelError::DeadlineExceeded { .. } => shed += 1,
+            _ => other += 1,
+        }
+        let (tenant, _) = schedule[arrival];
+        println!(
+            "  arrival {arrival:>3} ({}): FAULTED — {e}",
+            tenants[tenant].label
+        );
+    }
+    let faulted = panics + non_finite + shed + other;
+    if opts.deadline_ms.is_some() || opts.faults.is_some() || faulted > 0 {
+        println!(
+            "faults: {faulted} of {} arrivals failed ({panics} panicked, {non_finite} \
+             non-finite suppressed, {shed} deadline-shed, {other} other) — {} completed, \
+             service survived",
+            outcomes.len(),
+            succeeded.len(),
+        );
+    }
     println!(
         "latency (ms): queue-wait p50 {:.3} p95 {:.3} p99 {:.3} | execute p50 {:.3} p95 {:.3} \
          p99 {:.3}",
@@ -732,11 +879,19 @@ fn serve_trace(
     );
 
     if opts.compare_cold {
-        // Every response must be bit-identical to an independent cold
-        // prepare + run on the same tenant graph and features.
-        let runner = GcnRunner::new(config);
+        // Every non-faulted response must be bit-identical to an
+        // independent cold prepare + run on the same tenant graph and
+        // features (the cold reference never injects faults).
+        let mut cold_config = config;
+        cold_config.faults = None;
+        let runner = GcnRunner::new(cold_config);
         let mut identical = true;
+        let mut compared = 0usize;
         for (arrival, &(tenant, request)) in schedule.iter().enumerate() {
+            let Ok(warm) = &outcomes[arrival] else {
+                continue;
+            };
+            compared += 1;
             let t = &tenants[tenant];
             let cold_input = GcnInput::from_parts(
                 t.input.a_norm.clone(),
@@ -744,7 +899,7 @@ fn serve_trace(
                 t.input.weights.clone(),
             )?;
             let cold = runner.run(&cold_input)?;
-            if cold.output != outcomes[arrival].outcome.output {
+            if cold.output != warm.outcome.output {
                 identical = false;
                 eprintln!(
                     "arrival {arrival} (tenant {}): served output differs from cold run!",
@@ -753,7 +908,7 @@ fn serve_trace(
             }
         }
         println!(
-            "cold comparison: {} arrivals over {} tenants, outputs {}",
+            "cold comparison: {compared} of {} arrivals over {} tenants, outputs {}",
             schedule.len(),
             tenants.len(),
             if identical {

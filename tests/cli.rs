@@ -458,8 +458,100 @@ fn bad_inputs_are_rejected() {
         &["serve", "cora", "--cache-plans", "64"][..],
         &["serve", "cora", "--trace", "--queue-depth"][..],
         &["serve", "cora", "--trace", "--cache-plans"][..],
+        &["serve", "cora", "--trace", "--deadline-ms", "0"][..],
+        &["serve", "cora", "--trace", "--retries", "0"][..],
+        &["serve", "cora", "--faults", "0"][..],
+        &["serve", "cora", "--trace", "--deadline-ms", "-5"][..],
+        &["serve", "cora", "--trace", "--retries", "garbage"][..],
+        &["serve", "cora", "--faults", "nope"][..],
+        &["serve", "cora", "--deadline-ms", "100"][..],
+        &["serve", "cora", "--retries", "2"][..],
+        &["serve", "cora", "--trace", "--deadline-ms"][..],
+        &["serve", "cora", "--trace", "--retries"][..],
+        &["serve", "cora", "--faults"][..],
+        &["run", "cora", "--deadline-ms", "100"][..],
     ] {
         let out = awb_sim(args);
         assert!(!out.status.success(), "accepted: {args:?}");
     }
+}
+
+/// Golden-structure test of fault-injected serving: under a fixed fault
+/// seed the batch reports typed FAULTED lines and the survival summary,
+/// completes the rest, and the cold comparison (fault-free reference)
+/// still proves the non-faulted outputs bit-identical.
+#[test]
+fn serve_faults_reports_typed_errors_and_survives() {
+    let out = awb_sim(&[
+        "serve",
+        "cora",
+        "--scale",
+        "0.1",
+        "--pes",
+        "16",
+        "--requests",
+        "8",
+        "--seed",
+        "5",
+        "--faults",
+        "7",
+        "--compare-cold",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("served 8 requests"), "{text}");
+    assert!(
+        text.contains("faults:") && text.contains("service survived"),
+        "missing fault summary:\n{text}"
+    );
+    assert!(
+        text.contains("outputs bit-identical"),
+        "fault-injected cold comparison failed:\n{text}"
+    );
+}
+
+/// Golden-structure test of the full fault-tolerant trace: deadline,
+/// retries, and fault seed wired together; the run must report the
+/// fault-tolerance banner, the fault summary, percentiles over the
+/// survivors, and a bit-identical cold comparison.
+#[test]
+fn serve_trace_fault_tolerant_end_to_end() {
+    let out = awb_sim(&[
+        "serve",
+        "cora",
+        "--scale",
+        "0.05",
+        "--pes",
+        "16",
+        "--trace",
+        "--seed",
+        "5",
+        "--deadline-ms",
+        "60000",
+        "--retries",
+        "3",
+        "--faults",
+        "7",
+        "--compare-cold",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("fault tolerance: deadline 60000 ms, retries 3, fault seed 7"),
+        "missing fault-tolerance banner:\n{text}"
+    );
+    assert!(text.contains("service survived"), "{text}");
+    assert!(text.contains("queue-wait p50"), "{text}");
+    assert!(
+        text.contains("outputs bit-identical"),
+        "fault-tolerant trace cold comparison failed:\n{text}"
+    );
 }

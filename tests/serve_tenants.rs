@@ -151,6 +151,7 @@ fn eviction_round_trip_re_prepares_evicted_tenant() {
         ServeOptions {
             queue_depth: 64,
             cache_budget_bytes: Some(budget),
+            deadline: None,
         },
     )
     .unwrap();
@@ -192,6 +193,7 @@ fn oversized_plan_stays_resident() {
         ServeOptions {
             queue_depth: 64,
             cache_budget_bytes: Some(1),
+            deadline: None,
         },
     )
     .unwrap();
@@ -250,6 +252,7 @@ fn admitted_request_survives_plan_eviction() {
             queue_depth: 8,
             // Any second plan evicts the first.
             cache_budget_bytes: Some(1),
+            deadline: None,
         },
     )
     .unwrap();
@@ -276,6 +279,7 @@ fn queue_full_is_typed_backpressure() {
         ServeOptions {
             queue_depth: 2,
             cache_budget_bytes: None,
+            deadline: None,
         },
     )
     .unwrap();
