@@ -72,6 +72,46 @@ fn bench_kernel_old_vs_new(c: &mut Criterion) {
     group.finish();
 }
 
+/// Blocked (multi-column accumulate, `csc_times_dense_blocked`) vs scalar
+/// (one column per pass, `csc_times_dense`) kernels across operand scales
+/// and B widths — ISSUE 8's tentpole. Outputs are bit-identical (pinned
+/// reduction order, asserted in `awb_sparse::spmm` tests and the blocked
+/// proptest), so this group is pure speed; the headline target is ≥1.5×
+/// on the Pubmed-shaped operand.
+fn bench_blocked_vs_scalar(c: &mut Criterion) {
+    let shapes = [
+        ("small", DatasetSpec::cora().with_nodes(512)),
+        ("medium", DatasetSpec::cora()),
+        ("pubmed", DatasetSpec::pubmed()),
+    ];
+    for (name, spec) in shapes {
+        let data = GeneratedDataset::generate(&spec, 5).expect("dataset");
+        let a_csc = data.adjacency.to_csc();
+        for width in [4usize, 8, 16, 64] {
+            let b = DenseMatrix::from_vec(
+                a_csc.cols(),
+                width,
+                (0..a_csc.cols() * width)
+                    .map(|i| ((i % 13) as f32) - 6.0)
+                    .collect(),
+            )
+            .expect("dense B");
+            let macs = spmm::csc_times_dense_macs(&a_csc, &b).unwrap() as u64;
+            let mut group = c.benchmark_group("kernels_blocked_vs_scalar");
+            group.throughput(Throughput::Elements(macs));
+            group.bench_function(format!("scalar/{name}_x{width}"), |bench| {
+                bench.iter(|| spmm::csc_times_dense(black_box(&a_csc), black_box(&b)).unwrap())
+            });
+            group.bench_function(format!("blocked/{name}_x{width}"), |bench| {
+                bench.iter(|| {
+                    spmm::csc_times_dense_blocked(black_box(&a_csc), black_box(&b)).unwrap()
+                })
+            });
+            group.finish();
+        }
+    }
+}
+
 fn bench_format_conversion(c: &mut Criterion) {
     let data = GeneratedDataset::generate(&DatasetSpec::pubmed(), 5).expect("dataset");
     let mut group = c.benchmark_group("format_conversion");
@@ -156,6 +196,7 @@ criterion_group!(
     benches,
     bench_spmm_kernels,
     bench_kernel_old_vs_new,
+    bench_blocked_vs_scalar,
     bench_format_conversion,
     bench_fast_engine,
     bench_omega_network

@@ -21,9 +21,18 @@
 //! fault-tolerant path (`serve_isolated`: per-request `catch_unwind`
 //! isolation and the fault hooks) with injection *disabled* — comparing
 //! it against the plain serve record gates the "fault hooks are
-//! zero-cost when off" requirement. Every record carries `"workload"`
-//! (`"spmm"` for the engine records) and the compare gate matches on
-//! (workload, design, replay, shards, xw_shards); serve records are
+//! zero-cost when off" requirement. Schema 7 adds the raw-kernel axis:
+//! two `"workload": "kernel"` records time the scalar vs blocked
+//! (`csc_times_dense_blocked`) accumulate kernels on the Pubmed-shaped
+//! operand and report a `"gflops"` MAC rate (2 FLOPs per MAC over
+//! `csc_times_dense_macs`), and a `"workload": "serve_arena_off"`
+//! record re-runs the warm serving batch with `scratch_reuse` disabled —
+//! the per-request-allocation A/B for the plan-owned scratch arenas.
+//! Every record carries `"workload"` (`"spmm"` for the engine records)
+//! and the compare gate matches on (workload, design, replay, shards,
+//! xw_shards); `"spmm"` and `"kernel"` records gate hard (`"kernel"`
+//! records normalize by their own run's scalar rate, so the gated
+//! quantity is the blocked/scalar speedup ratio), serve records are
 //! excluded from the machine-speed geomean and only *warn* on
 //! throughput or p95 drift (end-to-end wall-clock is noisier than the
 //! kernel records).
@@ -47,7 +56,7 @@ use awb_accel::{
 use awb_bench::BENCH_SEED;
 use awb_datasets::{DatasetSpec, GeneratedDataset};
 use awb_gcn_model::GcnInput;
-use awb_sparse::{Csc, DenseMatrix};
+use awb_sparse::{spmm, Csc, DenseMatrix};
 use std::time::Instant;
 
 const DEFAULT_PATH: &str = "BENCH_engine.json";
@@ -144,12 +153,19 @@ fn record(design: Design, replay: bool, shards: usize, xw_shards: usize, m: &Mea
 }
 
 /// Shared setup for the serving records: the Cora graph plus an 8-request
-/// feature stream on a warmed `GcnService`.
-fn serve_fixture() -> (GcnInput, Vec<awb_sparse::Csr>, GcnService) {
+/// feature stream on a warmed `GcnService`. `scratch_reuse` selects the
+/// arena-on/arena-off A/B (schema 7).
+fn serve_fixture(scratch_reuse: bool) -> (GcnInput, Vec<awb_sparse::Csr>, GcnService) {
     let design = Design::LocalPlusRemote { hop: 2 };
     let data = GeneratedDataset::generate(&DatasetSpec::cora(), BENCH_SEED).expect("dataset");
     let input = GcnInput::from_dataset(&data).expect("gcn input");
-    let config = design.apply(AccelConfig::builder().n_pes(1024).build().unwrap());
+    let config = design.apply(
+        AccelConfig::builder()
+            .n_pes(1024)
+            .scratch_reuse(scratch_reuse)
+            .build()
+            .unwrap(),
+    );
     let requests: Vec<_> = (0..8)
         .map(|i| {
             if i == 0 {
@@ -201,9 +217,11 @@ fn serve_json(
 /// The serving record (schema 5): the multi-tenant front-end measured end
 /// to end on a warm plan cache. `tasks` is the request count and
 /// `tasks_per_s` is requests/second; the percentile fields are
-/// milliseconds.
-fn serve_record() -> String {
-    let (input, requests, mut service) = serve_fixture();
+/// milliseconds. The schema-7 `"serve_arena_off"` twin runs the identical
+/// batch with `scratch_reuse` disabled — the gap between the two records
+/// is the end-to-end cost of per-request scratch allocation.
+fn serve_record(workload: &str, scratch_reuse: bool) -> String {
+    let (input, requests, mut service) = serve_fixture(scratch_reuse);
     // Warm batch pays the prepare (the cache miss); the timed batch runs
     // on a warm cache — the steady serving state the record tracks.
     service.serve_graph(&input, &requests).expect("warm batch");
@@ -214,7 +232,7 @@ fn serve_record() -> String {
     let exec_p = batch.execute_percentiles();
     let stats = service.cache_stats();
     serve_json(
-        "serve",
+        workload,
         batch.requests.len(),
         wall_s,
         &wait,
@@ -231,7 +249,7 @@ fn serve_record() -> String {
 /// measures the cost of the fault-tolerance layer when off (required:
 /// within noise).
 fn serve_isolated_record() -> String {
-    let (input, requests, mut service) = serve_fixture();
+    let (input, requests, mut service) = serve_fixture(true);
     service.prepare("cora", &input).expect("prepare");
     service
         .serve_isolated("cora", &requests)
@@ -259,6 +277,55 @@ fn serve_isolated_record() -> String {
         stats.hits,
         stats.misses,
     )
+}
+
+/// The raw-kernel records (schema 7): scalar vs blocked accumulate on the
+/// Pubmed-shaped operand — the tentpole speedup the trajectory tracks.
+/// `tasks` is the MAC count, `"gflops"` the MAC rate at 2 FLOPs per MAC
+/// (multiply + accumulate); the `"design"` field names the kernel.
+fn kernel_records() -> Vec<String> {
+    let data = GeneratedDataset::generate(&DatasetSpec::pubmed(), BENCH_SEED).expect("dataset");
+    let a = data.adjacency.to_csc();
+    let b = DenseMatrix::from_vec(
+        a.cols(),
+        16,
+        (0..a.cols() * 16)
+            .map(|i| ((i % 11) as f32) - 5.0)
+            .collect(),
+    )
+    .expect("dense B");
+    let macs = spmm::csc_times_dense_macs(&a, &b).expect("mac count") as u64;
+    let time3 = |kernel: &dyn Fn() -> DenseMatrix| -> f64 {
+        std::hint::black_box(kernel());
+        let mut best = f64::MAX;
+        for _ in 0..5 {
+            let start = Instant::now();
+            let out = kernel();
+            best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+            std::hint::black_box(&out);
+        }
+        best
+    };
+    let emit = |kernel: &str, wall_s: f64| -> String {
+        format!(
+            "    {{\"dataset\": \"pubmed\", \"design\": \"{kernel}\", \"replay\": false, \
+             \"shards\": 1, \"xw_shards\": 1, \"workload\": \"kernel\", \"n_pes\": 1, \
+             \"tasks\": {macs}, \"wall_s\": {wall_s:.6}, \"tasks_per_s\": {:.1}, \
+             \"gflops\": {:.3}}}",
+            macs as f64 / wall_s,
+            2.0 * macs as f64 / wall_s / 1e9,
+        )
+    };
+    vec![
+        emit(
+            "scalar",
+            time3(&|| spmm::csc_times_dense(&a, &b).expect("scalar kernel")),
+        ),
+        emit(
+            "blocked",
+            time3(&|| spmm::csc_times_dense_blocked(&a, &b).expect("blocked kernel")),
+        ),
+    ]
 }
 
 fn write_bench(path: &str) {
@@ -329,16 +396,23 @@ fn write_bench(path: &str) {
         records.push(record(design, true, 1, xw_shards, &m));
     }
 
+    // Raw-kernel axis (schema 7): scalar vs blocked accumulate MAC rates
+    // on the Pubmed-shaped operand.
+    records.extend(kernel_records());
+
     // Serving axis (schema 5): the multi-tenant front-end on a warm plan
     // cache — end-to-end requests/second plus latency percentiles.
-    records.push(serve_record());
+    records.push(serve_record("serve", true));
+
+    // Arena A/B (schema 7): the same warm batch with scratch pooling off.
+    records.push(serve_record("serve_arena_off", false));
 
     // Fault-tolerance axis (schema 6): the same warm batch through the
     // isolated path with injection disabled — the zero-cost-off gate.
     records.push(serve_isolated_record());
 
     let json = format!(
-        "{{\n  \"schema\": 6,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
+        "{{\n  \"schema\": 7,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
          \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
         exec::num_threads(),
         records.join(",\n")
@@ -371,6 +445,7 @@ fn check(path: &str) {
         "\"wall_s\"",
         "\"tasks_per_s\"",
         "\"p95_exec_ms\"",
+        "\"gflops\"",
     ] {
         if !text.contains(field) {
             eprintln!("BENCH check failed: {path} lacks required field {field}");
@@ -456,10 +531,11 @@ const HIT_RATE_DRIFT: f64 = 0.01;
 /// the warn-only notice.
 const P95_DRIFT_RATIO: f64 = 1.5;
 
-/// Geometric mean of the *engine* records' throughputs — the run's
-/// "machine speed" scalar used to normalize before gating. Serve records
-/// are excluded: their requests/second live on a different scale than
-/// kernel tasks/second and would skew the normalizer.
+/// Geometric mean of the *engine* (`"spmm"`) records' throughputs — the
+/// run's "machine speed" scalar used to normalize before gating. Serve
+/// and raw-kernel records are excluded: their requests/second and MAC
+/// rates live on different scales than engine tasks/second and would
+/// skew the normalizer.
 fn geomean_tps(records: &[Record]) -> f64 {
     let spmm: Vec<f64> = records
         .iter()
@@ -470,6 +546,21 @@ fn geomean_tps(records: &[Record]) -> f64 {
         return 1.0;
     }
     (spmm.iter().sum::<f64>() / spmm.len() as f64).exp()
+}
+
+/// The run's scalar-kernel MAC rate — the normalizer for the raw-kernel
+/// records. Kernel wall-clock does not covary with the engine records'
+/// (they time different code at a different moment of the process), so
+/// normalizing the blocked record by its *own run's* scalar record
+/// cancels machine speed exactly: the gated quantity is the blocked/scalar
+/// speedup ratio, the invariant the records exist to protect. Falls back
+/// to the spmm geomean for files predating schema 7.
+fn kernel_norm(records: &[Record], fallback: f64) -> f64 {
+    records
+        .iter()
+        .find(|r| r.workload == "kernel" && r.design == "scalar")
+        .map(|r| r.tasks_per_s.max(1e-9))
+        .unwrap_or(fallback)
 }
 
 /// Diffs `fresh` against `baseline`: exits non-zero when any matched
@@ -500,6 +591,8 @@ fn compare(fresh_path: &str, baseline_path: &str) {
     }
     let fresh_mean = geomean_tps(&fresh);
     let base_mean = geomean_tps(&baseline);
+    let fresh_kernel = kernel_norm(&fresh, fresh_mean);
+    let base_kernel = kernel_norm(&baseline, base_mean);
     println!(
         "machine-speed normalizer (geomean tasks/s): baseline {base_mean:.1}, fresh {fresh_mean:.1}"
     );
@@ -522,11 +615,16 @@ fn compare(fresh_path: &str, baseline_path: &str) {
         };
         matched += 1;
         let abs_ratio = now.tasks_per_s / base.tasks_per_s.max(1e-9);
-        let norm_ratio = (now.tasks_per_s / fresh_mean) / (base.tasks_per_s / base_mean).max(1e-9);
+        let (now_norm, base_norm) = if base.workload == "kernel" {
+            (fresh_kernel, base_kernel)
+        } else {
+            (fresh_mean, base_mean)
+        };
+        let norm_ratio = (now.tasks_per_s / now_norm) / (base.tasks_per_s / base_norm).max(1e-9);
         // Serve records warn instead of failing: end-to-end wall-clock
-        // (queueing, threading) is far noisier than the kernel records
-        // the hard gate is tuned for.
-        let gated = base.workload == "spmm";
+        // (queueing, threading) is far noisier than the engine and raw
+        // kernel records the hard gate is tuned for.
+        let gated = matches!(base.workload.as_str(), "spmm" | "kernel");
         let verdict = if norm_ratio < 1.0 - REGRESSION_THRESHOLD {
             if gated {
                 regressions += 1;

@@ -41,6 +41,7 @@
 //! in the crate's integration tests.
 
 use crate::config::AccelConfig;
+use crate::engine::arena::{ArenaStats, ScratchArena};
 use crate::engine::steady::{
     accumulate_round, column_pattern, emit_column, execute_steady, structure_fingerprint,
     MemoryParams, ReplayCache, SimParams, SteadySpan,
@@ -54,6 +55,7 @@ use crate::rebalance::local::LocalSharing;
 use crate::rebalance::remote::RoundProfile;
 use crate::stats::SpmmStats;
 use awb_sparse::{Csc, DenseMatrix};
+use std::sync::Arc;
 
 /// Fast queue-dynamics engine (see module docs).
 ///
@@ -94,6 +96,11 @@ pub struct FastEngine {
     /// kernel anyway (see `engine::sharded`).
     values_enabled: bool,
     cache: ReplayCache,
+    /// Scratch pool for accumulator/simulator/output buffers, shared into
+    /// every plan frozen from this engine (and replaceable wholesale via
+    /// [`set_arena`](FastEngine::set_arena), e.g. a GCN runner threading
+    /// one arena through its per-layer combination engines).
+    arena: Arc<ScratchArena>,
 }
 
 impl FastEngine {
@@ -103,6 +110,11 @@ impl FastEngine {
     /// later via [`set_threads`](FastEngine::set_threads)/
     /// [`set_replay_enabled`](FastEngine::set_replay_enabled)).
     pub fn new(config: AccelConfig) -> Self {
+        let arena = if config.scratch_reuse {
+            ScratchArena::new()
+        } else {
+            ScratchArena::disabled()
+        };
         FastEngine {
             threads: config.threads,
             replay_enabled: config.replay,
@@ -112,6 +124,7 @@ impl FastEngine {
             map: None,
             tuner: None,
             cache: ReplayCache::new(),
+            arena: Arc::new(arena),
         }
     }
 
@@ -160,6 +173,18 @@ impl FastEngine {
         self.values_enabled = on;
     }
 
+    /// Replaces the engine's scratch arena with a shared one — used by the
+    /// GCN runner to pool scratch across the per-layer combination engines
+    /// instead of each engine warming its own.
+    pub fn set_arena(&mut self, arena: Arc<ScratchArena>) {
+        self.arena = arena;
+    }
+
+    /// Allocation/reuse counters of the engine's scratch arena.
+    pub fn scratch_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
     /// Steady-state rounds whose timing was served from the replay cache.
     pub fn replay_hits(&self) -> u64 {
         self.cache.hits()
@@ -193,6 +218,7 @@ impl FastEngine {
             tuner.total_switches(),
             self.replay_enabled,
             self.cache.clone(),
+            Arc::clone(&self.arena),
         ))
     }
 
@@ -239,15 +265,18 @@ impl SpmmEngine for FastEngine {
             self.cache.guard(structure_fingerprint(a));
         }
 
-        let mut c = DenseMatrix::zeros(n_rows, b.cols());
+        // Local handle so scratch checkouts coexist with the `self.map`/
+        // `self.tuner` mutable borrows below.
+        let arena = Arc::clone(&self.arena);
+        // The output matrix draws from the arena too: zeroed at take, and
+        // recyclable by callers that consume it (`ScratchArena::recycle_f32`).
+        let mut c = DenseMatrix::from_vec(n_rows, b.cols(), arena.take_f32(n_rows * b.cols()))
+            .expect("arena buffer sized to the output matrix");
         let mut rounds = Vec::with_capacity(b.cols());
         let mut queue_high_water = vec![0u32; n_pes];
-        // Timing-only engines never touch the column accumulator.
-        let mut col_acc = if self.values_enabled {
-            vec![0f32; n_rows]
-        } else {
-            Vec::new()
-        };
+        // Timing-only engines never touch the column accumulator (a
+        // zero-length checkout is allocation-free).
+        let mut col_acc = arena.checkout_f32(if self.values_enabled { n_rows } else { 0 });
 
         // ---- Phase 1: tuning rounds, inherently sequential ----
         // Each round observes the map the previous round's switching
@@ -269,6 +298,7 @@ impl SpmmEngine for FastEngine {
                 map.pe_of_row(),
                 params,
                 row_tasks.as_deref_mut(),
+                &arena,
             );
             if self.values_enabled {
                 accumulate_round(a, &cols, &vals, &mut col_acc);
@@ -316,6 +346,7 @@ impl SpmmEngine for FastEngine {
                 memory,
                 threads,
                 cache: use_replay.then_some(&self.cache),
+                arena: &arena,
                 compute_values: self.values_enabled,
             },
             &mut c,

@@ -29,12 +29,14 @@
 //! `A × (XW)` under `AccelConfig.shards`, each layer's `X × W` under
 //! `AccelConfig.combination_shards`. See `DESIGN.md` §7/§8.
 
+pub(crate) mod arena;
 mod detailed;
 mod fast;
 mod plan;
 mod sharded;
 pub(crate) mod steady;
 
+pub use arena::{ArenaStats, Scratch, ScratchArena};
 pub use detailed::{DetailedEngine, TdqMode};
 pub use fast::FastEngine;
 pub use plan::{SpmmSession, TunedPlan};

@@ -25,6 +25,7 @@
 //! sessions race on the same uncached pattern (both count a miss).
 
 use crate::config::AccelConfig;
+use crate::engine::arena::{ArenaStats, ScratchArena};
 use crate::engine::steady::{execute_steady, MemoryParams, ReplayCache, SimParams, SteadySpan};
 use crate::engine::{check_shapes, PlanOutcome, SpmmEngine, SpmmOutcome};
 use crate::error::AccelError;
@@ -33,6 +34,7 @@ use crate::mapping::RowMap;
 use crate::rebalance::local::LocalSharing;
 use crate::stats::SpmmStats;
 use awb_sparse::{Csc, DenseMatrix};
+use std::sync::Arc;
 
 pub(crate) use crate::engine::steady::structure_fingerprint;
 
@@ -74,11 +76,22 @@ pub struct TunedPlan {
     total_switches: u64,
     replay_enabled: bool,
     cache: ReplayCache,
+    /// Scratch pool shared with the engine that froze this plan: every
+    /// session checks its accumulator/simulator/output buffers out of
+    /// here, so the buffers warmed during planning serve all later
+    /// requests. Arena scratch is transient (bounded by the concurrent
+    /// worker count) and deliberately *not* part of
+    /// [`memory_bytes`](TunedPlan::memory_bytes) — the plan-cache budget
+    /// tracks resident per-plan state, and evicting a plan frees its
+    /// arena anyway; observe it via
+    /// [`scratch_stats`](TunedPlan::scratch_stats).
+    arena: Arc<ScratchArena>,
 }
 
 impl TunedPlan {
     /// Assembles a plan from an engine's frozen state (crate-internal; use
     /// [`SpmmEngine::plan`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_frozen(
         config: AccelConfig,
         row_map: RowMap,
@@ -87,6 +100,7 @@ impl TunedPlan {
         total_switches: u64,
         replay_enabled: bool,
         cache: ReplayCache,
+        arena: Arc<ScratchArena>,
     ) -> Self {
         let fingerprint = structure_fingerprint(a);
         // The snapshot may hold timings for a *different* operand the
@@ -103,6 +117,7 @@ impl TunedPlan {
             total_switches,
             replay_enabled,
             cache,
+            arena,
         }
     }
 
@@ -164,6 +179,26 @@ impl TunedPlan {
     /// Distinct memoized patterns currently held.
     pub fn cached_patterns(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Allocation/reuse counters of the plan's scratch arena (shared by
+    /// every session on this plan).
+    pub fn scratch_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// The plan's scratch arena (crate-internal: the GCN layers recycle
+    /// consumed intermediates into it).
+    pub(crate) fn arena(&self) -> &Arc<ScratchArena> {
+        &self.arena
+    }
+
+    /// Returns a finished output matrix's buffer to the plan's arena. A
+    /// serving loop that hands back each response it is done with makes
+    /// the steady state *exactly* allocation-free — without this, the one
+    /// escaping output per request is the only fresh allocation left.
+    pub fn recycle_output(&self, c: DenseMatrix) {
+        self.arena.recycle_f32(c.into_vec());
     }
 
     /// Opens a per-request execution session against this plan.
@@ -267,7 +302,11 @@ impl SpmmEngine for SpmmSession<'_> {
             }
         }
         let n_pes = plan.config.n_pes;
-        let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+        // Output and scratch come from the plan's shared arena: a warm
+        // arena makes the per-request steady path allocation-free.
+        let mut c =
+            DenseMatrix::from_vec(a.rows(), b.cols(), plan.arena.take_f32(a.rows() * b.cols()))
+                .expect("arena buffer sized to the output matrix");
         let mut rounds = Vec::with_capacity(b.cols());
         let mut queue_high_water = vec![0u32; n_pes];
         // The cache is shared only when the operand is resident on chip
@@ -283,6 +322,7 @@ impl SpmmEngine for SpmmSession<'_> {
                 memory: plan.memory,
                 threads: self.threads.unwrap_or_else(exec::num_threads),
                 cache,
+                arena: &plan.arena,
                 compute_values: self.compute_values,
             },
             &mut c,

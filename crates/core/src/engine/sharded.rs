@@ -46,6 +46,7 @@
 //! changes none of them.
 
 use crate::config::AccelConfig;
+use crate::engine::arena::{ArenaStats, ScratchArena};
 use crate::engine::steady::{compute_columns, structure_fingerprint};
 use crate::engine::{check_shapes, FastEngine, PlanOutcome, SpmmEngine, SpmmOutcome, TunedPlan};
 use crate::error::AccelError;
@@ -142,12 +143,14 @@ fn merge_stats(label: &str, per_shard: &[SpmmStats]) -> SpmmStats {
 /// its dense row slice), computes the merged numerics through the pinned
 /// global-order kernel, and merges statistics — the one fan-out/merge
 /// path both the tuning-live engine and the frozen sessions execute.
+#[allow(clippy::too_many_arguments)]
 fn run_shards<S: Sync>(
     threads: usize,
     shards: &[S],
     a: &Csc,
     b: &DenseMatrix,
     label: &str,
+    merge_arena: &ScratchArena,
     cols_of: impl Fn(&S) -> Range<usize> + Sync,
     run_one: impl Fn(&S, &DenseMatrix) -> Result<SpmmOutcome, AccelError> + Sync,
 ) -> Result<ShardedOutcome, AccelError> {
@@ -159,8 +162,13 @@ fn run_shards<S: Sync>(
     for outcome in results {
         per_shard.push(outcome?.stats);
     }
-    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
-    compute_columns(a, b, threads, &mut c);
+    let mut c = DenseMatrix::from_vec(
+        a.rows(),
+        b.cols(),
+        merge_arena.take_f32(a.rows() * b.cols()),
+    )
+    .expect("arena buffer sized to the output matrix");
+    compute_columns(a, b, threads, merge_arena, &mut c);
     Ok(ShardedOutcome {
         outcome: SpmmOutcome {
             c,
@@ -216,6 +224,9 @@ pub struct ShardedEngine {
     shards: Vec<EngineShard>,
     /// Fingerprint/shape of the partitioned operand (set on first run).
     operand: Option<(u64, usize, usize, usize)>,
+    /// Scratch pool for the merged output and the global-order merge
+    /// kernel's block accumulators; shared into the frozen plan.
+    merge_arena: Arc<ScratchArena>,
 }
 
 impl ShardedEngine {
@@ -231,12 +242,35 @@ impl ShardedEngine {
     /// instead of the configuration's aggregation-side policy — e.g.
     /// [`AccelConfig::combination_partitioner`] for the `X × W` phase.
     pub fn with_partitioner(config: AccelConfig, partitioner: ColumnPartitioner) -> Self {
+        let merge_arena = Arc::new(if config.scratch_reuse {
+            ScratchArena::new()
+        } else {
+            ScratchArena::disabled()
+        });
         ShardedEngine {
             config,
             partitioner,
             shards: Vec::new(),
             operand: None,
+            merge_arena,
         }
+    }
+
+    /// Replaces the merge-phase scratch arena — lets an owner (e.g.
+    /// `GcnRunner`) share one pool across phases instead of holding one
+    /// per engine.
+    pub fn set_arena(&mut self, arena: Arc<ScratchArena>) {
+        self.merge_arena = arena;
+    }
+
+    /// Allocation/reuse counters of the merge arena plus every shard
+    /// member's own arena.
+    pub fn scratch_stats(&self) -> ArenaStats {
+        let mut total = self.merge_arena.stats();
+        for shard in &self.shards {
+            total.absorb(shard.lock_engine().scratch_stats());
+        }
+        total
     }
 
     /// Number of shards (0 before the first run).
@@ -339,6 +373,7 @@ impl ShardedEngine {
             a,
             b,
             label,
+            &self.merge_arena,
             |shard| shard.cols.clone(),
             |shard, b_slice| shard.lock_engine().run(&shard.a, b_slice, label),
         )
@@ -371,6 +406,7 @@ impl ShardedEngine {
             nnz: a.nnz(),
             fingerprint: structure_fingerprint(a),
             shards,
+            merge_arena: Arc::clone(&self.merge_arena),
         })
     }
 }
@@ -440,6 +476,12 @@ pub struct ShardedPlan {
     nnz: usize,
     fingerprint: u64,
     shards: Vec<PlanShard>,
+    /// Scratch pool for the merged output and merge-kernel accumulators,
+    /// shared (`Arc`) with the engine that froze the plan and across plan
+    /// clones. Deliberately excluded from [`memory_bytes`]
+    /// (Self::memory_bytes): retention is transient scratch bounded by the
+    /// worker count, observable via [`scratch_stats`](Self::scratch_stats).
+    merge_arena: Arc<ScratchArena>,
 }
 
 impl ShardedPlan {
@@ -495,6 +537,29 @@ impl ShardedPlan {
     /// Replay misses summed over shard caches.
     pub fn replay_misses(&self) -> u64 {
         self.shards.iter().map(|s| s.plan.replay_misses()).sum()
+    }
+
+    /// Allocation/reuse counters of the merge arena plus every shard's
+    /// per-plan arena. `created` stable across warm requests ⇔ sharded
+    /// serving is allocation-free in steady state.
+    pub fn scratch_stats(&self) -> ArenaStats {
+        let mut total = self.merge_arena.stats();
+        for shard in &self.shards {
+            total.absorb(shard.plan.scratch_stats());
+        }
+        total
+    }
+
+    /// The merge-phase arena (crate-internal: `GcnPlan` unifies its layer
+    /// scratch with it).
+    pub(crate) fn merge_arena(&self) -> &Arc<ScratchArena> {
+        &self.merge_arena
+    }
+
+    /// Returns a finished merged-output buffer to the merge arena (see
+    /// [`TunedPlan::recycle_output`]).
+    pub fn recycle_output(&self, c: DenseMatrix) {
+        self.merge_arena.recycle_f32(c.into_vec());
     }
 
     /// Estimated heap bytes resident across all shards: each shard's
@@ -580,13 +645,20 @@ impl ShardedSession<'_> {
             a,
             b,
             label,
+            &plan.merge_arena,
             |shard| shard.cols.clone(),
             |shard, b_slice| {
                 // Timing-only member sessions: the merged numerics come
                 // from the pinned global-order kernel in `run_shards`.
                 let mut session = shard.plan.session_trusted();
                 session.set_values_enabled(false);
-                session.run(&shard.a, b_slice, label)
+                let mut outcome = session.run(&shard.a, b_slice, label)?;
+                // The member output is discarded by the merge — hand its
+                // buffer back to the shard plan's arena so warm sharded
+                // serving stays allocation-free.
+                let c = std::mem::replace(&mut outcome.c, DenseMatrix::zeros(0, 0));
+                shard.plan.arena().recycle_f32(c.into_vec());
+                Ok(outcome)
             },
         )
     }

@@ -20,10 +20,11 @@
 //! an uncached pattern both count a miss).
 
 use crate::config::{AccelConfig, StallMode};
+use crate::engine::arena::ScratchArena;
 use crate::exec;
 use crate::rebalance::local::LocalSharing;
 use crate::stats::RoundStats;
-use awb_sparse::spmm::csc_axpy_column;
+use awb_sparse::spmm::{csc_accumulate_block, csc_axpy_column, drain_block_into, ACC_BLOCK_LANES};
 use awb_sparse::{Csc, DenseMatrix};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -120,16 +121,22 @@ pub(crate) fn simulate_round(
     pe_of_row: &[u32],
     p: SimParams,
     mut row_tasks: Option<&mut [u32]>,
+    arena: &ScratchArena,
 ) -> SimRound {
     let n_pes = p.n_pes;
     let lat = p.lat;
     let bandwidth = p.bandwidth;
 
-    // Per-PE scratch.
-    let mut pending = vec![0u32; n_pes];
-    let mut last_seen = vec![0u64; n_pes];
-    let mut issue_until = vec![0u64; n_pes];
-    let mut busy = vec![0u64; n_pes];
+    // Per-PE and per-row scratch, checked out (zeroed) from the plan's
+    // arena — only the vectors that stay internal to the round.
+    // `owner_busy` and the queue high-water marks are *moved out* in the
+    // return value, so they must own their allocations.
+    let mut pending = arena.checkout_u32(n_pes);
+    let mut sim_u64 = arena.checkout_u64(3 * n_pes + a.rows());
+    let (last_seen, rest) = sim_u64.split_at_mut(n_pes);
+    let (issue_until, rest) = rest.split_at_mut(n_pes);
+    // `ready` is the per-row half (the big one on graph-sized operands).
+    let (busy, ready) = rest.split_at_mut(n_pes);
     // Owner-attributed load: the distributor counts every task against
     // the PE that *owns* its row, before any local-sharing diversion.
     // The PESM profiles on this view — under sharing, executed-load
@@ -137,8 +144,6 @@ pub(crate) fn simulate_round(
     // rows cause the overload (see DESIGN.md, remote switching).
     let mut owner_busy = vec![0u64; n_pes];
     let mut max_q = vec![0u32; n_pes];
-    // Per-row scratch.
-    let mut ready = vec![0u64; a.rows()];
 
     let a_row_idx = a.row_idx();
     let a_col_ptr = a.col_ptr();
@@ -258,22 +263,44 @@ pub(crate) fn emit_column(c: &mut DenseMatrix, k: usize, acc: &mut [f32]) {
     awb_sparse::spmm::drain_column_into(c, k, acc);
 }
 
+/// The `(k0, width)` column blocks covering `start..end` in
+/// [`ACC_BLOCK_LANES`]-wide steps (narrower final block for ranges not
+/// divisible by the lane count).
+pub(crate) fn block_spans(start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut k0 = start;
+    while k0 < end {
+        let width = ACC_BLOCK_LANES.min(end - k0);
+        spans.push((k0, width));
+        k0 += width;
+    }
+    spans
+}
+
 /// Computes every output column of `C = A × B` through the shared
-/// column-accumulate kernel, fanning columns out on the [`exec`]
-/// substrate. This is exactly the numerics half of [`execute_steady`]
-/// (same per-column addition order, same skip-zeros emission), exposed so
-/// the sharded executor can pin its merged output bit-identical to the
-/// unsharded engines while simulating timing per shard.
-pub(crate) fn compute_columns(a: &Csc, b: &DenseMatrix, threads: usize, c: &mut DenseMatrix) {
+/// blocked-accumulate kernel, fanning column *blocks* out on the [`exec`]
+/// substrate with per-worker scratch checked out of `arena`. This is
+/// exactly the numerics half of [`execute_steady`] (the blocked kernel's
+/// pinned reduction order keeps it bit-identical to the per-column scalar
+/// path — see `csc_accumulate_block`), exposed so the sharded executor
+/// can pin its merged output bit-identical to the unsharded engines while
+/// simulating timing per shard.
+pub(crate) fn compute_columns(
+    a: &Csc,
+    b: &DenseMatrix,
+    threads: usize,
+    arena: &ScratchArena,
+    c: &mut DenseMatrix,
+) {
     let n_rows = a.rows();
-    let patterns: Vec<(Vec<u32>, Vec<f32>)> = (0..b.cols()).map(|k| column_pattern(b, k)).collect();
-    let columns = exec::par_map_threads(threads, &patterns, |(cols, vals)| {
-        let mut acc = vec![0f32; n_rows];
-        accumulate_round(a, cols, vals, &mut acc);
+    let blocks = block_spans(0, b.cols());
+    let accs = exec::par_map_threads(threads, &blocks, |&(k0, width)| {
+        let mut acc = arena.checkout_f32(n_rows * width);
+        csc_accumulate_block(a, b, k0, width, &mut acc);
         acc
     });
-    for (k, mut column) in columns.into_iter().enumerate() {
-        emit_column(c, k, &mut column);
+    for (&(k0, width), mut acc) in blocks.iter().zip(accs) {
+        drain_block_into(c, k0, width, &mut acc);
     }
 }
 
@@ -416,6 +443,9 @@ pub(crate) struct SteadySpan<'a> {
     pub threads: usize,
     /// `None` disables replay (straight simulation of every round).
     pub cache: Option<&'a ReplayCache>,
+    /// Scratch pool for accumulator/simulator buffers (the plan's arena,
+    /// or the engine's own for cold runs).
+    pub arena: &'a ScratchArena,
     /// When `false`, the numerics half is skipped entirely (timing-only
     /// execution): no accumulate fan-out, no column writes — `c` is left
     /// untouched. Timing is a pure function of the non-zero *pattern*, so
@@ -440,15 +470,10 @@ pub(crate) fn execute_steady(
         return;
     }
     let n_rows = span.a.rows();
-    // Timing-only spans never read the values, so skip extracting them.
-    let patterns: Vec<(Vec<u32>, Vec<f32>)> = (span.start..b.cols())
-        .map(|k| {
-            if span.compute_values {
-                column_pattern(b, k)
-            } else {
-                (column_pattern_cols(b, k), Vec::new())
-            }
-        })
+    // The timing rounds need only the non-zero *patterns*; the numerics
+    // below read the values straight out of `b` per block.
+    let patterns: Vec<Vec<u32>> = (span.start..b.cols())
+        .map(|k| column_pattern_cols(b, k))
         .collect();
 
     let timings: Vec<RoundTiming> = match span.cache {
@@ -460,7 +485,7 @@ pub(crate) fn execute_steady(
             {
                 let cached = cache.read_timings();
                 let mut queued: HashSet<&[u32]> = HashSet::new();
-                for (cols, _) in &patterns {
+                for cols in &patterns {
                     if !cached.contains_key(cols.as_slice()) && queued.insert(cols.as_slice()) {
                         to_sim.push(cols.clone());
                     }
@@ -473,7 +498,7 @@ pub(crate) fn execute_steady(
                 .hits
                 .fetch_add((patterns.len() - to_sim.len()) as u64, Ordering::Relaxed);
             let fresh = exec::par_map_threads(span.threads, &to_sim, |cols| {
-                simulate_round(span.a, cols, span.pe_of_row, span.params, None).timing
+                simulate_round(span.a, cols, span.pe_of_row, span.params, None, span.arena).timing
             });
             // Promote fresh timings into the shared cache up to the size
             // cap; past it (an all-distinct-patterns operand that would
@@ -495,7 +520,7 @@ pub(crate) fn execute_steady(
             let cached = cache.read_timings();
             patterns
                 .iter()
-                .map(|(cols, _)| {
+                .map(|cols| {
                     cached
                         .get(cols.as_slice())
                         .or_else(|| overflow.get(cols.as_slice()))
@@ -504,17 +529,21 @@ pub(crate) fn execute_steady(
                 })
                 .collect()
         }
-        None => exec::par_map_threads(span.threads, &patterns, |(cols, _)| {
-            simulate_round(span.a, cols, span.pe_of_row, span.params, None).timing
+        None => exec::par_map_threads(span.threads, &patterns, |cols| {
+            simulate_round(span.a, cols, span.pe_of_row, span.params, None, span.arena).timing
         }),
     };
 
-    // Numerics: each round owns its output column of C (skipped wholesale
-    // in timing-only mode — see `SteadySpan::compute_values`).
-    let columns = if span.compute_values {
-        exec::par_map_threads(span.threads, &patterns, |(cols, vals)| {
-            let mut acc = vec![0f32; n_rows];
-            accumulate_round(span.a, cols, vals, &mut acc);
+    // Numerics: B-columns in ACC_BLOCK_LANES-wide blocks, one worker per
+    // block accumulating into arena scratch (skipped wholesale in
+    // timing-only mode — see `SteadySpan::compute_values`). The blocked
+    // kernel's pinned reduction order keeps the output bit-identical to
+    // the per-column scalar path (see `csc_accumulate_block`).
+    let blocks = block_spans(span.start, b.cols());
+    let block_accs = if span.compute_values {
+        exec::par_map_threads(span.threads, &blocks, |&(k0, width)| {
+            let mut acc = span.arena.checkout_f32(n_rows * width);
+            csc_accumulate_block(span.a, b, k0, width, &mut acc);
             acc
         })
     } else {
@@ -540,13 +569,8 @@ pub(crate) fn execute_steady(
         };
         rounds.push(timing.to_stats(timing.cycles + fill, false));
     }
-    for (i, column) in columns.into_iter().enumerate() {
-        let k = span.start + i;
-        for (row, v) in column.into_iter().enumerate() {
-            if v != 0.0 {
-                c.set(row, k, v);
-            }
-        }
+    for (&(k0, width), mut acc) in blocks.iter().zip(block_accs) {
+        drain_block_into(c, k0, width, &mut acc);
     }
 }
 

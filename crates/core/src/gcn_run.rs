@@ -19,12 +19,15 @@
 //!   inference, identical to the pre-split behaviour.
 
 use crate::config::{AccelConfig, ShardPolicy};
-use crate::engine::{FastEngine, ShardedEngine, ShardedPlan, SpmmEngine, TunedPlan};
+use crate::engine::{
+    ArenaStats, FastEngine, ScratchArena, ShardedEngine, ShardedPlan, SpmmEngine, TunedPlan,
+};
 use crate::error::AccelError;
 use crate::pipeline::pipeline_two_stage;
 use crate::stats::{LayerStats, RunStats};
 use awb_gcn_model::{GcnInput, GcnModel};
 use awb_sparse::{Csc, Csr, DenseMatrix};
+use std::sync::Arc;
 
 /// Outcome of one accelerated inference.
 #[derive(Debug, Clone)]
@@ -59,6 +62,7 @@ fn run_layers(
     weights: &[DenseMatrix],
     x1: &Csr,
     engine_a: &mut dyn SpmmEngine,
+    xw_arena: Option<&Arc<ScratchArena>>,
 ) -> Result<GcnRunOutcome, AccelError> {
     let n_layers = weights.len();
     let mut layers = Vec::with_capacity(n_layers);
@@ -81,17 +85,32 @@ fn run_layers(
         // sharded engine would then repeat.
         let combination_sharded = config.combination_shards != ShardPolicy::Single
             && !config.combination_partitioner().is_single(&x_csc);
+        // The per-layer X engines are transient, so a caller holding a
+        // long-lived pool (GcnPlan) shares it in — without this every
+        // layer of every request would re-grow a fresh arena.
         let mut engine_x: Box<dyn SpmmEngine> = if combination_sharded {
-            Box::new(ShardedEngine::with_partitioner(
-                config.clone(),
-                config.combination_partitioner(),
-            ))
+            let mut engine =
+                ShardedEngine::with_partitioner(config.clone(), config.combination_partitioner());
+            if let Some(arena) = xw_arena {
+                engine.set_arena(Arc::clone(arena));
+            }
+            Box::new(engine)
         } else {
-            Box::new(FastEngine::new(config.clone()))
+            let mut engine = FastEngine::new(config.clone());
+            if let Some(arena) = xw_arena {
+                engine.set_arena(Arc::clone(arena));
+            }
+            Box::new(engine)
         };
         let xw = engine_x.run(&x_csc, w, &format!("L{}:X*W", l + 1))?;
+        let (xw_c, xw_stats) = (xw.c, xw.stats);
         // Stage 2: A × (XW) on the persistent A engine/session.
-        let a_xw = engine_a.run(a_csc, &xw.c, &format!("L{}:A*(XW)", l + 1))?;
+        let a_xw = engine_a.run(a_csc, &xw_c, &format!("L{}:A*(XW)", l + 1))?;
+        // XW is consumed: its buffer feeds the next layer's XW output
+        // instead of the allocator.
+        if let Some(arena) = xw_arena {
+            arena.recycle_f32(xw_c.into_vec());
+        }
 
         let mut x_next = a_xw.c;
         if l + 1 < n_layers {
@@ -99,12 +118,12 @@ fn run_layers(
         }
 
         let pipelined_cycles = if config.pipeline_spmms {
-            pipeline_two_stage(&xw.stats.round_cycles(), &a_xw.stats.round_cycles())
+            pipeline_two_stage(&xw_stats.round_cycles(), &a_xw.stats.round_cycles())
         } else {
-            xw.stats.total_cycles() + a_xw.stats.total_cycles()
+            xw_stats.total_cycles() + a_xw.stats.total_cycles()
         };
         layers.push(LayerStats {
-            xw: xw.stats,
+            xw: xw_stats,
             a_xw: a_xw.stats,
             pipelined_cycles,
         });
@@ -113,7 +132,12 @@ fn run_layers(
             // Direct dense→CSC (no COO intermediate) — the inter-layer hop.
             x_csc = x_next.to_csc();
         }
-        x_dense_out = x_next;
+        // The previous layer's dense output was consumed by the CSC hop
+        // above on the last iteration — recycle its buffer too.
+        let prev = std::mem::replace(&mut x_dense_out, x_next);
+        if let Some(arena) = xw_arena {
+            arena.recycle_f32(prev.into_vec());
+        }
     }
 
     Ok(GcnRunOutcome {
@@ -187,6 +211,7 @@ impl GcnRunner {
             &input.weights,
             &input.x1,
             engine_a.as_mut(),
+            None,
         )
     }
 
@@ -219,6 +244,14 @@ impl GcnRunner {
                 }
             }
         };
+        // One unified pool for the whole plan: the frozen A-side plan's
+        // arena (already warm from the prepare run) also serves the
+        // per-layer X engines — a second pool would double retention and
+        // let recycled XW buffers strand in the wrong pool.
+        let xw_arena = match &a_plan {
+            APlan::Single(plan) => Arc::clone(plan.arena()),
+            APlan::Sharded(plan) => Arc::clone(plan.merge_arena()),
+        };
         Ok((
             GcnPlan {
                 config: self.config.clone(),
@@ -226,6 +259,7 @@ impl GcnRunner {
                 weights: input.weights.clone(),
                 a_plan,
                 degraded,
+                xw_arena,
             },
             outcome,
         ))
@@ -243,6 +277,7 @@ impl GcnRunner {
             &input.weights,
             &input.x1,
             &mut engine_a,
+            None,
         )?;
         Ok((
             APlan::Single(engine_a.freeze_plan(&input.a_norm_csc)?),
@@ -274,6 +309,7 @@ impl GcnRunner {
                 &input.weights,
                 &input.x1,
                 &mut engine_a,
+                None,
             )?;
             Ok((
                 APlan::Sharded(engine_a.freeze_plan(&input.a_norm_csc)?),
@@ -334,6 +370,13 @@ impl APlan {
             APlan::Sharded(plan) => plan.memory_bytes(),
         }
     }
+
+    fn scratch_stats(&self) -> ArenaStats {
+        match self {
+            APlan::Single(plan) => plan.scratch_stats(),
+            APlan::Sharded(plan) => plan.scratch_stats(),
+        }
+    }
 }
 
 /// A prepared per-graph inference plan: everything that is a function of
@@ -352,6 +395,13 @@ pub struct GcnPlan {
     /// `Some(reason)` when a failing sharded prepare degraded to this
     /// unsharded plan (see [`GcnPlan::degraded`]).
     degraded: Option<String>,
+    /// Scratch pool shared into every per-layer `X × W` engine (those are
+    /// transient, so without a plan-owned pool each layer of each request
+    /// would re-grow one). The consumed `XW` intermediate is recycled here
+    /// too. Excluded from [`memory_bytes`](GcnPlan::memory_bytes):
+    /// transient scratch bounded by the worker count, observable via
+    /// [`scratch_stats`](GcnPlan::scratch_stats).
+    xw_arena: Arc<ScratchArena>,
 }
 
 impl GcnPlan {
@@ -444,6 +494,24 @@ impl GcnPlan {
         self.a_norm_csc.heap_bytes() as u64 + weights + self.a_plan.memory_bytes()
     }
 
+    /// Allocation/reuse counters over every scratch pool the plan owns.
+    /// `xw_arena` is the `A`-side plan's own pool (unified at prepare), so
+    /// the `A`-plan view already covers it — plus, when sharded, each
+    /// shard member's pool. `created` stable across warm requests ⇔
+    /// steady-state inference is allocation-free on the accumulate path.
+    pub fn scratch_stats(&self) -> ArenaStats {
+        self.a_plan.scratch_stats()
+    }
+
+    /// Returns a finished request's output buffer to the plan's pool. A
+    /// serving loop that hands each response back once consumed makes the
+    /// warm steady state *exactly* allocation-free; without it, the one
+    /// output matrix the caller keeps is the only fresh allocation per
+    /// request.
+    pub fn recycle_output(&self, output: DenseMatrix) {
+        self.xw_arena.recycle_f32(output.into_vec());
+    }
+
     /// True when `input` carries the same graph (by structure fingerprint)
     /// and the same weights this plan was prepared for.
     pub fn matches(&self, input: &GcnInput) -> bool {
@@ -479,6 +547,7 @@ impl GcnPlan {
             &self.weights,
             x1,
             session.as_mut(),
+            Some(&self.xw_arena),
         )
     }
 

@@ -77,8 +77,9 @@ pub use config::{
 };
 pub use energy::{cycles_to_ms, EnergyModel};
 pub use engine::{
-    DetailedEngine, FastEngine, PlanOutcome, PlanShard, ShardedEngine, ShardedOutcome, ShardedPlan,
-    ShardedSession, SpmmEngine, SpmmOutcome, SpmmSession, TdqMode, TunedPlan,
+    ArenaStats, DetailedEngine, FastEngine, PlanOutcome, PlanShard, Scratch, ScratchArena,
+    ShardedEngine, ShardedOutcome, ShardedPlan, ShardedSession, SpmmEngine, SpmmOutcome,
+    SpmmSession, TdqMode, TunedPlan,
 };
 pub use error::AccelError;
 pub use exec::{num_threads, par_map, par_map_isolated, par_map_threads};

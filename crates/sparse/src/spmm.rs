@@ -59,6 +59,150 @@ pub fn drain_column_into(c: &mut DenseMatrix, k: usize, acc: &mut [f32]) {
     }
 }
 
+/// Lane count of the blocked accumulate kernels: B-columns are processed
+/// in blocks of up to this many `f32` lanes per accumulator row, sized so
+/// one row's lane group fills a single 256-bit vector register.
+pub const ACC_BLOCK_LANES: usize = 8;
+
+/// The innermost blocked loop, monomorphized per lane count so the
+/// compiler sees a fixed-width `[f32; L]` FMA group it can vectorize.
+#[inline(always)]
+fn axpy_lanes<const L: usize>(a: &Csc, j: usize, scales: &[f32; L], acc: &mut [f32]) {
+    let lo = a.col_ptr()[j];
+    let hi = a.col_ptr()[j + 1];
+    for (&i, &v) in a.row_idx()[lo..hi].iter().zip(&a.values()[lo..hi]) {
+        let base = i as usize * L;
+        let dst: &mut [f32; L] = (&mut acc[base..base + L]).try_into().unwrap();
+        for l in 0..L {
+            dst[l] += v * scales[l];
+        }
+    }
+}
+
+/// Blocked form of [`csc_axpy_column`]: accumulates `scales[l] × A[:, j]`
+/// into lane `l` of the block accumulator for every lane at once.
+///
+/// `acc` is row-major over lanes — `acc[i * W + l]` holds output element
+/// `(i, k0 + l)` for block width `W = scales.len()` — so each non-zero of
+/// the sparse column touches one contiguous `W`-lane group, which the
+/// compiler vectorizes for the fixed widths ([`ACC_BLOCK_LANES`] and its
+/// half). Width 1 degenerates to the scalar kernel's addition sequence.
+///
+/// # Panics
+///
+/// Panics if `j >= a.cols()` or `acc.len() < a.rows() * scales.len()`.
+#[inline]
+pub fn csc_axpy_block(a: &Csc, j: usize, scales: &[f32], acc: &mut [f32]) {
+    match scales.len() {
+        8 => axpy_lanes::<8>(a, j, scales.try_into().unwrap(), acc),
+        4 => axpy_lanes::<4>(a, j, scales.try_into().unwrap(), acc),
+        w => {
+            let lo = a.col_ptr()[j];
+            let hi = a.col_ptr()[j + 1];
+            for (&i, &v) in a.row_idx()[lo..hi].iter().zip(&a.values()[lo..hi]) {
+                let base = i as usize * w;
+                for (dst, &s) in acc[base..base + w].iter_mut().zip(scales) {
+                    *dst += v * s;
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates the numerics of output columns `k0 .. k0 + width` into the
+/// block accumulator `acc` (layout as in [`csc_axpy_block`]).
+///
+/// # Pinned reduction order (bit-identity with the scalar kernels)
+///
+/// The scalar schedule visits, per output column `k`, the non-zero
+/// `b(j, k)` in ascending `j` and adds `a(i, j) * b(j, k)` in CSC index
+/// order. This kernel iterates `j` ascending over the *union* of the
+/// block's column patterns and lets zero lanes ride along: for a lane
+/// where `b(j, k0 + l)` is `±0.0`, the addition `acc += v * (±0.0)` is a
+/// bit-exact no-op, because the accumulator is never `-0.0` (it starts
+/// `+0.0`, `(+0.0) + (-0.0) = +0.0` in round-to-nearest, and an exact
+/// cancellation yields `+0.0`). Every value-changing addition therefore
+/// happens in exactly the scalar order, and the result is bit-identical
+/// to [`csc_times_dense`] — asserted by tests and proptests.
+///
+/// The no-op argument needs *finite* operands (`inf × 0.0` is NaN); the
+/// engines guarantee this via ingest validation, and the graph/feature
+/// loaders reject non-finite tokens at parse.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`, `k0 + width > b.cols()`, or
+/// `acc.len() < a.rows() * width`.
+pub fn csc_accumulate_block(a: &Csc, b: &DenseMatrix, k0: usize, width: usize, acc: &mut [f32]) {
+    assert_eq!(a.cols(), b.rows(), "operand dimensions must agree");
+    for j in 0..a.cols() {
+        let scales = &b.row(j)[k0..k0 + width];
+        if scales.iter().all(|&s| s == 0.0) {
+            continue;
+        }
+        csc_axpy_block(a, j, scales, acc);
+    }
+}
+
+/// Blocked form of [`drain_column_into`]: writes the non-zero entries of
+/// the block accumulator into columns `k0 .. k0 + width` of `c` (one
+/// contiguous row-slice store per accumulator row), then resets `acc` to
+/// all-`+0.0`. The write stays conditional (`!= 0.0`, matching the scalar
+/// drain's `DenseMatrix::set` sequence) and the reset unconditional (a
+/// `-0.0` residue must not leak into the next block).
+///
+/// # Panics
+///
+/// Panics if `acc.len() != c.rows() * width` or `k0 + width > c.cols()`.
+pub fn drain_block_into(c: &mut DenseMatrix, k0: usize, width: usize, acc: &mut [f32]) {
+    assert_eq!(
+        acc.len(),
+        c.rows() * width,
+        "block accumulator length must match rows × width"
+    );
+    for (i, src) in acc.chunks_exact_mut(width).enumerate() {
+        let dst = &mut c.row_mut(i)[k0..k0 + width];
+        for (d, s) in dst.iter_mut().zip(src.iter_mut()) {
+            if *s != 0.0 {
+                *d = *s;
+            }
+            *s = 0.0;
+        }
+    }
+}
+
+/// Blocked form of [`csc_times_dense`]: processes B-columns in
+/// [`ACC_BLOCK_LANES`]-wide blocks (narrower final block for widths not
+/// divisible by the lane count) through [`csc_accumulate_block`]. The
+/// result is bit-identical to [`csc_times_dense`] — the pinned reduction
+/// order is the whole point (see [`csc_accumulate_block`]); this is the
+/// raw-speed variant, walking `A`'s non-zeros once per *block* instead of
+/// once per column.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn csc_times_dense_blocked(a: &Csc, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "csc_times_dense_blocked",
+        });
+    }
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    let mut acc = vec![0f32; a.rows() * ACC_BLOCK_LANES.min(b.cols())];
+    let mut k0 = 0;
+    while k0 < b.cols() {
+        let width = ACC_BLOCK_LANES.min(b.cols() - k0);
+        let block = &mut acc[..a.rows() * width];
+        csc_accumulate_block(a, b, k0, width, block);
+        drain_block_into(&mut c, k0, width, block);
+        k0 += width;
+    }
+    Ok(c)
+}
+
 /// `C = A * B` with `A` sparse (CSC) and `B` dense — the accelerator's
 /// native schedule.
 ///
@@ -419,5 +563,133 @@ mod tests {
         let c = csc_times_dense(&a, &b).unwrap();
         assert_eq!(c.shape(), (0, 0));
         assert_eq!(csc_times_dense_macs(&a, &b).unwrap(), 0);
+        assert_eq!(csc_times_dense_blocked(&a, &b).unwrap().shape(), (0, 0));
+    }
+
+    /// A mid-sized pseudo-random operand pair for the blocked-kernel pins.
+    fn blocked_fixture(cols: usize) -> (Csc, DenseMatrix) {
+        let mut a = Coo::new(37, 31);
+        for s in 0..140u32 {
+            let r = (s.wrapping_mul(13).wrapping_add(5) % 37) as usize;
+            let c = (s.wrapping_mul(23) % 31) as usize;
+            a.push(r, c, ((s % 9) as f32) * 0.375 - 1.5).unwrap();
+        }
+        let b_data: Vec<f32> = (0..31 * cols)
+            .map(|i| match i % 6 {
+                0 => 0.0, // zero lanes ride along in every block
+                5 => -((i % 11) as f32) * 0.25,
+                _ => ((i % 7) as f32) - 3.0,
+            })
+            .collect();
+        (a.to_csc(), DenseMatrix::from_vec(31, cols, b_data).unwrap())
+    }
+
+    #[test]
+    fn blocked_bit_identical_to_scalar_across_widths() {
+        // Widths straddling the lane count, including non-multiples of 8
+        // (tail blocks of every width 1..=7) and the degenerate width 1.
+        for cols in [1usize, 3, 4, 7, 8, 9, 12, 16, 19] {
+            let (a, b) = blocked_fixture(cols);
+            let scalar = csc_times_dense(&a, &b).unwrap();
+            let blocked = csc_times_dense_blocked(&a, &b).unwrap();
+            assert_eq!(scalar, blocked, "width {cols} must be bit-identical");
+            assert_eq!(csc_times_dense_naive(&a, &b).unwrap(), blocked);
+        }
+    }
+
+    #[test]
+    fn blocked_handles_negative_zero_and_cancellation() {
+        // Rows 0/1 of A are exact negations and share B rows -> every
+        // output lane they touch cancels to +0.0; B also carries explicit
+        // -0.0 entries, which the scalar path skips (`!= 0.0` is false)
+        // and the blocked path rides through as a no-op lane.
+        let mut a = Coo::new(6, 6);
+        a.push(0, 0, 0.75).unwrap();
+        a.push(0, 1, -0.75).unwrap();
+        a.push(1, 0, -0.5).unwrap();
+        a.push(1, 1, 0.5).unwrap();
+        for j in 0..6usize {
+            a.push(2 + (j % 4), j, (j + 1) as f32 * 0.5).unwrap();
+        }
+        let mut b = DenseMatrix::zeros(6, 10);
+        for (k, v) in [1.0f32, -1.0, 0.5, 0.0, -2.25, -0.0, 3.5, -0.0, 0.125, -1.5]
+            .iter()
+            .enumerate()
+        {
+            b.set(0, k, *v);
+            b.set(1, k, *v);
+            b.set(2, k, if k % 3 == 0 { -0.0 } else { 0.25 });
+        }
+        let csc = a.to_csc();
+        let scalar = csc_times_dense(&csc, &b).unwrap();
+        let blocked = csc_times_dense_blocked(&csc, &b).unwrap();
+        assert_eq!(scalar, blocked);
+        for k in 0..10 {
+            assert_eq!(
+                blocked.get(0, k).to_bits(),
+                0,
+                "row 0 col {k} must cancel to +0.0"
+            );
+            assert_eq!(
+                blocked.get(1, k).to_bits(),
+                0,
+                "row 1 col {k} must cancel to +0.0"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_drain_resets_block_to_positive_zero() {
+        let mut c = DenseMatrix::zeros(2, 5);
+        // Block covering columns 1..4 (width 3, off-origin).
+        let mut acc = vec![1.5f32, -0.0, 0.0, 0.0, 2.5, -0.75];
+        drain_block_into(&mut c, 1, 3, &mut acc);
+        for (i, v) in acc.iter().enumerate() {
+            assert_eq!(v.to_bits(), 0, "acc[{i}] must reset to +0.0");
+        }
+        assert_eq!(c.get(0, 1), 1.5);
+        assert_eq!(c.get(0, 2).to_bits(), 0, "-0.0 residue must not be written");
+        assert_eq!(c.get(1, 2), 2.5);
+        assert_eq!(c.get(1, 3), -0.75);
+        assert_eq!(c.get(0, 0).to_bits(), 0);
+        assert_eq!(c.get(0, 4).to_bits(), 0);
+    }
+
+    #[test]
+    fn blocked_axpy_matches_scalar_axpy_per_lane() {
+        let (a, b) = blocked_fixture(8);
+        let rows = a.rows();
+        let mut block_acc = vec![0f32; rows * 8];
+        for j in 0..a.cols() {
+            csc_axpy_block(&a, j, &b.row(j)[0..8], &mut block_acc);
+        }
+        for l in 0..8 {
+            let mut acc = vec![0f32; rows];
+            for j in 0..a.cols() {
+                // Mirror the blocked kernel: zero scales ride along (they
+                // are bit-exact no-ops), so no skip here either.
+                csc_axpy_column(&a, j, b.get(j, l), &mut acc);
+            }
+            for i in 0..rows {
+                assert_eq!(
+                    acc[i].to_bits(),
+                    block_acc[i * 8 + l].to_bits(),
+                    "lane {l} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_dimension_mismatch_detected() {
+        let a = sparse_3x3();
+        let bad = DenseMatrix::zeros(2, 2);
+        assert!(matches!(
+            csc_times_dense_blocked(&a.to_csc(), &bad),
+            Err(SparseError::DimensionMismatch {
+                op: "csc_times_dense_blocked",
+                ..
+            })
+        ));
     }
 }

@@ -95,6 +95,43 @@ proptest! {
         prop_assert!(via_csr.approx_eq(&expect, 1e-3));
     }
 
+    /// The blocked accumulate kernel must be *bit-identical* to the scalar
+    /// column kernel — not approximately equal — because every bit-identity
+    /// pin in the repo (sharded merge, replay, golden CLI) rides on it.
+    /// B deliberately mixes negative zeros and exactly-cancelling pairs so
+    /// the all-lanes-zero skip and the ±0.0 no-op argument both get hit,
+    /// and the width range straddles multiples and non-multiples of the
+    /// 8/4-lane dispatch.
+    #[test]
+    fn blocked_spmm_bit_identical_to_scalar(
+        coo in coo_strategy(20, 96),
+        width in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let a = coo.to_csc();
+        let b = {
+            let n = coo.cols() * width;
+            let data: Vec<f32> = (0..n)
+                .map(|i| {
+                    let h = (i as u64).wrapping_mul(2654435761).wrapping_add(seed) >> 6;
+                    match h % 8 {
+                        0 => 0.0,
+                        1 => -0.0,
+                        v => (v as f32) - 4.5,
+                    }
+                })
+                .collect();
+            DenseMatrix::from_vec(coo.cols(), width, data).unwrap()
+        };
+        let scalar = spmm::csc_times_dense(&a, &b).unwrap();
+        let blocked = spmm::csc_times_dense_blocked(&a, &b).unwrap();
+        // Compare bit patterns, not f32 semantics: -0.0 == +0.0 would
+        // mask a sign-of-zero divergence.
+        let scalar_bits: Vec<u32> = scalar.into_vec().iter().map(|v| v.to_bits()).collect();
+        let blocked_bits: Vec<u32> = blocked.into_vec().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(blocked_bits, scalar_bits);
+    }
+
     #[test]
     fn spgemm_agrees_with_dense(
         a in coo_strategy(10, 24),
