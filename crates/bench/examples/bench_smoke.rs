@@ -28,14 +28,20 @@
 //! `csc_times_dense_macs`), and a `"workload": "serve_arena_off"`
 //! record re-runs the warm serving batch with `scratch_reuse` disabled —
 //! the per-request-allocation A/B for the plan-owned scratch arenas.
+//! Schema 8 adds the strategy axis: every record carries a `"policy"`
+//! field (`"manual"` for the hand-specified records), and a `"workload":
+//! "auto"` record resolves `StrategyPolicy::Auto` on Cora, measures its
+//! warm-path cycles, sweeps the paper lineup post hoc, and records the
+//! machine-independent `"auto_best_ratio"` (auto warm cycles over the
+//! post-hoc best point's) — gated warn-only when it exceeds 1.10.
 //! Every record carries `"workload"` (`"spmm"` for the engine records)
 //! and the compare gate matches on (workload, design, replay, shards,
 //! xw_shards); `"spmm"` and `"kernel"` records gate hard (`"kernel"`
 //! records normalize by their own run's scalar rate, so the gated
-//! quantity is the blocked/scalar speedup ratio), serve records are
-//! excluded from the machine-speed geomean and only *warn* on
-//! throughput or p95 drift (end-to-end wall-clock is noisier than the
-//! kernel records).
+//! quantity is the blocked/scalar speedup ratio), serve and auto records
+//! are excluded from the machine-speed geomean and only *warn* on
+//! throughput, p95, or ratio drift (end-to-end wall-clock is noisier
+//! than the kernel records).
 //!
 //! Usage:
 //!   cargo run --release -p awb_bench --example bench_smoke [-- --out PATH]
@@ -50,8 +56,8 @@
 //! on replay hit-rate drift. CI runs write-then-check-then-compare.
 
 use awb_accel::{
-    exec, AccelConfig, Design, FastEngine, GcnService, LatencyPercentiles, ShardPolicy,
-    ShardedEngine, SpmmEngine,
+    exec, AccelConfig, Design, DesignSweep, FastEngine, GcnRunner, GcnService, LatencyPercentiles,
+    ShardPolicy, ShardedEngine, SpmmEngine, StrategyPolicy,
 };
 use awb_bench::BENCH_SEED;
 use awb_datasets::{DatasetSpec, GeneratedDataset};
@@ -136,12 +142,13 @@ fn best_of_three<E: SmokeEngine>(make: impl Fn() -> E, a: &Csc, b: &DenseMatrix)
 }
 
 /// The engine record template (schema 5): both shard axes plus the
-/// workload discriminator in every record.
+/// workload discriminator in every record; schema 8 stamps the strategy
+/// policy (these records all hand-specify their configuration).
 fn record(design: Design, replay: bool, shards: usize, xw_shards: usize, m: &Measured) -> String {
     format!(
         "    {{\"dataset\": \"cora\", \"design\": \"{}\", \"replay\": {replay}, \
          \"shards\": {shards}, \"xw_shards\": {xw_shards}, \"workload\": \"spmm\", \
-         \"n_pes\": 1024, \"tasks\": {}, \
+         \"policy\": \"manual\", \"n_pes\": 1024, \"tasks\": {}, \
          \"wall_s\": {:.6}, \"tasks_per_s\": {:.1}, \"replay_hits\": {}, \"replay_misses\": {}}}",
         design.label(),
         m.tasks,
@@ -198,7 +205,8 @@ fn serve_json(
 ) -> String {
     format!(
         "    {{\"dataset\": \"cora\", \"design\": \"{}\", \"replay\": true, \
-         \"shards\": 1, \"xw_shards\": 1, \"workload\": \"{workload}\", \"n_pes\": 1024, \
+         \"shards\": 1, \"xw_shards\": 1, \"workload\": \"{workload}\", \
+         \"policy\": \"manual\", \"n_pes\": 1024, \
          \"tasks\": {tasks}, \"wall_s\": {wall_s:.6}, \"tasks_per_s\": {:.1}, \
          \"p50_wait_ms\": {:.3}, \"p95_wait_ms\": {:.3}, \"p99_wait_ms\": {:.3}, \
          \"p50_exec_ms\": {:.3}, \"p95_exec_ms\": {:.3}, \"p99_exec_ms\": {:.3}, \
@@ -309,7 +317,8 @@ fn kernel_records() -> Vec<String> {
     let emit = |kernel: &str, wall_s: f64| -> String {
         format!(
             "    {{\"dataset\": \"pubmed\", \"design\": \"{kernel}\", \"replay\": false, \
-             \"shards\": 1, \"xw_shards\": 1, \"workload\": \"kernel\", \"n_pes\": 1, \
+             \"shards\": 1, \"xw_shards\": 1, \"workload\": \"kernel\", \
+             \"policy\": \"manual\", \"n_pes\": 1, \
              \"tasks\": {macs}, \"wall_s\": {wall_s:.6}, \"tasks_per_s\": {:.1}, \
              \"gflops\": {:.3}}}",
             macs as f64 / wall_s,
@@ -326,6 +335,49 @@ fn kernel_records() -> Vec<String> {
             time3(&|| spmm::csc_times_dense_blocked(&a, &b).expect("blocked kernel")),
         ),
     ]
+}
+
+/// The Auto-strategy record (schema 8): resolve `StrategyPolicy::Auto` on
+/// Cora, measure the chosen plan's warm-path cycles, sweep the paper
+/// lineup post hoc at the same PE count, and record auto-vs-best as the
+/// machine-independent cycle ratio `"auto_best_ratio"` (compare warns —
+/// never fails — when it exceeds the 1.10 honesty bound).
+fn auto_record() -> String {
+    let data = GeneratedDataset::generate(&DatasetSpec::cora(), BENCH_SEED).expect("dataset");
+    let input = GcnInput::from_dataset(&data).expect("gcn input");
+    let base = AccelConfig::builder().n_pes(1024).build().expect("config");
+    let points = DesignSweep::new()
+        .pe_counts(vec![base.n_pes])
+        .base_config(base.clone())
+        .run(&input)
+        .expect("post-hoc sweep");
+    let best = points
+        .iter()
+        .map(|p| p.warm_cycles)
+        .min()
+        .expect("sweep points")
+        .max(1);
+    let mut auto_cfg = base;
+    auto_cfg.strategy = StrategyPolicy::Auto;
+    let decision = GcnRunner::new(auto_cfg.clone())
+        .resolve_strategy(&input)
+        .expect("auto decision");
+    let (plan, _) = GcnRunner::new(auto_cfg).prepare(&input).expect("prepare");
+    let start = Instant::now();
+    let warm = plan.run_input(&input).expect("warm run");
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    let cycles = warm.stats.total_cycles();
+    format!(
+        "    {{\"dataset\": \"cora\", \"design\": \"auto\", \"replay\": true, \
+         \"shards\": 1, \"xw_shards\": 1, \"workload\": \"auto\", \"policy\": \"auto\", \
+         \"n_pes\": 1024, \"tasks\": {cycles}, \"wall_s\": {wall_s:.6}, \
+         \"tasks_per_s\": {:.1}, \"chosen\": \"{}\", \"predicted_cycles\": {:.1}, \
+         \"auto_best_ratio\": {:.4}}}",
+        cycles as f64 / wall_s,
+        decision.label(),
+        decision.predicted_cycles,
+        cycles as f64 / best as f64,
+    )
 }
 
 fn write_bench(path: &str) {
@@ -411,8 +463,12 @@ fn write_bench(path: &str) {
     // isolated path with injection disabled — the zero-cost-off gate.
     records.push(serve_isolated_record());
 
+    // Strategy axis (schema 8): Auto's pick vs the post-hoc best sweep
+    // point, as a machine-independent warm-cycle ratio.
+    records.push(auto_record());
+
     let json = format!(
-        "{{\n  \"schema\": 7,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
+        "{{\n  \"schema\": 8,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
          \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
         exec::num_threads(),
         records.join(",\n")
@@ -446,6 +502,8 @@ fn check(path: &str) {
         "\"tasks_per_s\"",
         "\"p95_exec_ms\"",
         "\"gflops\"",
+        "\"policy\"",
+        "\"auto_best_ratio\"",
     ] {
         if !text.contains(field) {
             eprintln!("BENCH check failed: {path} lacks required field {field}");
@@ -475,6 +533,10 @@ struct Record {
     hit_rate: Option<f64>,
     /// p95 execute latency in ms, serve records only (schema 5).
     p95_exec_ms: Option<f64>,
+    /// Auto warm cycles over the post-hoc best sweep point's, `"auto"`
+    /// records only (schema 8). Machine-independent; warned on, never
+    /// gated.
+    auto_best_ratio: Option<f64>,
 }
 
 /// Extracts the records of a bench file (one JSON object per line, as
@@ -518,6 +580,7 @@ fn parse_records(text: &str, path: &str) -> Vec<Record> {
             tasks_per_s: tps.parse().unwrap_or(0.0),
             hit_rate,
             p95_exec_ms: field("p95_exec_ms").and_then(|v| v.parse().ok()),
+            auto_best_ratio: field("auto_best_ratio").and_then(|v| v.parse().ok()),
         });
     }
     records
@@ -530,6 +593,10 @@ const HIT_RATE_DRIFT: f64 = 0.01;
 /// Normalized p95-execute-latency growth (serve records) that triggers
 /// the warn-only notice.
 const P95_DRIFT_RATIO: f64 = 1.5;
+/// Auto-vs-post-hoc-best warm-cycle ratio (auto records) beyond which the
+/// warn-only honesty notice fires — mirrors the `auto_strategy` test's
+/// 10% bound.
+const AUTO_RATIO_BOUND: f64 = 1.10;
 
 /// Geometric mean of the *engine* (`"spmm"`) records' throughputs — the
 /// run's "machine speed" scalar used to normalize before gating. Serve
@@ -674,6 +741,19 @@ fn compare(fresh_path: &str, baseline_path: &str) {
                 eprintln!(
                     "BENCH compare warning: ({}, replay={}) hit rate drifted {:.3} -> {:.3}",
                     base.design, base.replay, b, n
+                );
+            }
+        }
+    }
+    // The honesty notice rides the fresh run alone (cycle counts are
+    // machine-independent, so no baseline is needed): warn — never fail —
+    // when Auto's pick trails the post-hoc best by more than the bound.
+    for rec in &fresh {
+        if let Some(ratio) = rec.auto_best_ratio {
+            if ratio > AUTO_RATIO_BOUND {
+                eprintln!(
+                    "BENCH compare warning: auto strategy warm cycles are {ratio:.3}x the \
+                     post-hoc best sweep point (bound {AUTO_RATIO_BOUND:.2})"
                 );
             }
         }

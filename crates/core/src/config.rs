@@ -75,6 +75,33 @@ impl ShardPolicy {
     }
 }
 
+/// Who picks the execution strategy (design point, shard counts, replay):
+/// the caller, or the calibrated cost model in [`cost`](crate::cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StrategyPolicy {
+    /// Execute exactly the knobs set on the configuration (default).
+    #[default]
+    Manual,
+    /// At [`GcnRunner::prepare`](crate::GcnRunner::prepare), profile the
+    /// input's sparsity structure, score the candidate configurations with
+    /// the calibrated cost model, and execute the predicted-fastest one.
+    /// The design/shard/replay fields on the configuration then serve only
+    /// as the scoring base; the resolved choice is recorded in
+    /// [`AutoDecision`](crate::cost::AutoDecision) and outputs stay
+    /// bit-identical to hand-specifying the same knobs under `Manual`.
+    Auto,
+}
+
+impl StrategyPolicy {
+    /// Short human-readable label (`"manual"` / `"auto"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategyPolicy::Manual => "manual",
+            StrategyPolicy::Auto => "auto",
+        }
+    }
+}
+
 /// Named design points evaluated in the paper (§5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Design {
@@ -229,6 +256,10 @@ pub struct AccelConfig {
     /// `Option` test, so disabled injection is zero-cost). See
     /// [`FaultPlan`](crate::fault::FaultPlan).
     pub faults: Option<crate::fault::FaultPlan>,
+    /// Who picks the execution strategy: the caller (default
+    /// [`StrategyPolicy::Manual`]) or the calibrated per-layer cost model
+    /// ([`StrategyPolicy::Auto`], resolved once per graph at prepare time).
+    pub strategy: StrategyPolicy,
 }
 
 impl AccelConfig {
@@ -436,6 +467,7 @@ impl Default for AccelConfigBuilder {
                 shards: ShardPolicy::Single,
                 combination_shards: ShardPolicy::Single,
                 faults: None,
+                strategy: StrategyPolicy::Manual,
             },
         }
     }
@@ -567,6 +599,12 @@ impl AccelConfigBuilder {
         self
     }
 
+    /// Sets the strategy policy (manual knobs vs cost-model `Auto`).
+    pub fn strategy(&mut self, policy: StrategyPolicy) -> &mut Self {
+        self.config.strategy = policy;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -654,6 +692,18 @@ mod tests {
         assert!(c.scratch_reuse);
         assert_eq!(c.shards, ShardPolicy::Single);
         assert_eq!(c.combination_shards, ShardPolicy::Single);
+        assert_eq!(c.strategy, StrategyPolicy::Manual);
+    }
+
+    #[test]
+    fn strategy_policy_labels_and_builder() {
+        assert_eq!(StrategyPolicy::Manual.label(), "manual");
+        assert_eq!(StrategyPolicy::Auto.label(), "auto");
+        let c = AccelConfig::builder()
+            .strategy(StrategyPolicy::Auto)
+            .build()
+            .unwrap();
+        assert_eq!(c.strategy, StrategyPolicy::Auto);
     }
 
     #[test]

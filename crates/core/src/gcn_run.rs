@@ -18,7 +18,8 @@
 //! * [`GcnRunner::run`] is the thin compatibility wrapper: one cold
 //!   inference, identical to the pre-split behaviour.
 
-use crate::config::{AccelConfig, ShardPolicy};
+use crate::config::{AccelConfig, ShardPolicy, StrategyPolicy};
+use crate::cost::{self, AutoDecision, CostProfile};
 use crate::engine::{
     ArenaStats, FastEngine, ScratchArena, ShardedEngine, ShardedPlan, SpmmEngine, TunedPlan,
 };
@@ -198,6 +199,11 @@ impl GcnRunner {
     ///
     /// Propagates configuration/shape errors from the engines.
     pub fn run(&self, input: &GcnInput) -> Result<GcnRunOutcome, AccelError> {
+        // Under Auto, resolve the strategy first and run the resolved
+        // (Manual) configuration — bit-identical to hand-specifying it.
+        if let Some(decision) = self.resolve_strategy(input) {
+            return GcnRunner::new(decision.apply(&self.config)).run(input);
+        }
         // One engine per sparse operand: A's engine persists across layers
         // so its tuned row map is reused.
         let mut engine_a: Box<dyn SpmmEngine> = if self.config.shards == ShardPolicy::Single {
@@ -215,6 +221,18 @@ impl GcnRunner {
         )
     }
 
+    /// Resolves [`StrategyPolicy::Auto`] for `input`: profiles its
+    /// structure and scores the candidate space with the calibrated cost
+    /// model ([`cost::select`]). Returns `None` under
+    /// [`StrategyPolicy::Manual`] (nothing to resolve).
+    pub fn resolve_strategy(&self, input: &GcnInput) -> Option<AutoDecision> {
+        if self.config.strategy != StrategyPolicy::Auto {
+            return None;
+        }
+        let profile = CostProfile::of_input(input);
+        Some(cost::select(&self.config, &profile))
+    }
+
     /// Runs one warm-up inference (identical to [`run`](GcnRunner::run))
     /// and extracts the reusable per-graph [`GcnPlan`]: the graph, the
     /// weights, and the frozen tuned plan (or per-shard plans, under a
@@ -225,25 +243,102 @@ impl GcnRunner {
     ///
     /// Propagates configuration/shape errors from the engines.
     pub fn prepare(&self, input: &GcnInput) -> Result<(GcnPlan, GcnRunOutcome), AccelError> {
-        let (a_plan, outcome, degraded) = if self.config.shards == ShardPolicy::Single {
-            let (a_plan, outcome) = Self::prepare_single(&self.config, input)?;
-            (a_plan, outcome, None)
-        } else {
-            match Self::prepare_sharded(&self.config, input) {
-                Ok((a_plan, outcome)) => (a_plan, outcome, None),
-                Err(reason) => {
-                    // Degradation ladder, rung 2 (DESIGN.md §10): a failing
-                    // sharded prepare falls back to an unsharded plan — the
-                    // tenant gets a correct (bit-identical) plan on one
-                    // device instead of an error, and the fallback is
-                    // recorded on the plan / PrepareReport.
-                    let mut single = self.config.clone();
-                    single.shards = ShardPolicy::Single;
-                    let (a_plan, outcome) = Self::prepare_single(&single, input)?;
-                    (a_plan, outcome, Some(reason.to_string()))
-                }
+        self.prepare_seeded(input, None, None)
+    }
+
+    /// [`prepare`](GcnRunner::prepare) against a structure profile the
+    /// caller already computed — [`DesignSweep`](crate::DesignSweep) runs
+    /// many prepares on one input, and the `O(n + nnz)` profile scan is a
+    /// function of the input alone, so it is computed once and shared.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/shape errors from the engines.
+    pub fn prepare_profiled(
+        &self,
+        input: &GcnInput,
+        profile: &CostProfile,
+    ) -> Result<(GcnPlan, GcnRunOutcome), AccelError> {
+        self.prepare_seeded(input, Some(profile), None)
+    }
+
+    /// [`prepare`](GcnRunner::prepare) with an Auto decision the caller
+    /// already resolved (the serving front-end resolves it for the
+    /// plan-cache key first; re-resolving here would double the work).
+    pub(crate) fn prepare_with_decision(
+        &self,
+        input: &GcnInput,
+        decision: Option<AutoDecision>,
+    ) -> Result<(GcnPlan, GcnRunOutcome), AccelError> {
+        self.prepare_seeded(input, None, decision)
+    }
+
+    fn prepare_seeded(
+        &self,
+        input: &GcnInput,
+        profile: Option<&CostProfile>,
+        decision: Option<AutoDecision>,
+    ) -> Result<(GcnPlan, GcnRunOutcome), AccelError> {
+        // Resolve Auto up front: every candidate is scored against the
+        // structure profile and the winner becomes the concrete (Manual)
+        // configuration the plan is built under.
+        let is_auto = self.config.strategy == StrategyPolicy::Auto;
+        let mut owned_profile: Option<CostProfile> = None;
+        let decision = match (is_auto, decision) {
+            (false, _) => None,
+            (true, Some(decision)) => Some(decision),
+            (true, None) => {
+                let profile = match profile {
+                    Some(p) => p,
+                    None => {
+                        owned_profile = Some(CostProfile::of_input(input));
+                        owned_profile.as_ref().expect("just set")
+                    }
+                };
+                Some(cost::select(&self.config, profile))
             }
         };
+        let exec_config = match &decision {
+            Some(decision) => decision.apply(&self.config),
+            None => self.config.clone(),
+        };
+
+        let (a_plan, outcome, degraded, decision, plan_config) =
+            if exec_config.shards == ShardPolicy::Single {
+                let (a_plan, outcome) = Self::prepare_single(&exec_config, input)?;
+                (a_plan, outcome, None, decision, exec_config)
+            } else {
+                match Self::prepare_sharded(&exec_config, input) {
+                    Ok((a_plan, outcome)) => (a_plan, outcome, None, decision, exec_config),
+                    Err(reason) => {
+                        // Degradation ladder, rung 2 (DESIGN.md §10): a failing
+                        // sharded prepare falls back to an unsharded plan — the
+                        // tenant gets a correct (bit-identical) plan on one
+                        // device instead of an error, and the fallback is
+                        // recorded on the plan / PrepareReport. Under Auto the
+                        // decision is re-scored against the unsharded candidate
+                        // set: the sharded predictions describe a plan that can
+                        // no longer be built, so keeping them would be stale.
+                        let (single, decision) = if decision.is_some() {
+                            let rescored = match (profile, owned_profile.as_ref()) {
+                                (Some(p), _) => cost::select_unsharded(&self.config, p),
+                                (None, Some(p)) => cost::select_unsharded(&self.config, p),
+                                (None, None) => {
+                                    let p = CostProfile::of_input(input);
+                                    cost::select_unsharded(&self.config, &p)
+                                }
+                            };
+                            (rescored.apply(&self.config), Some(rescored))
+                        } else {
+                            let mut single = exec_config.clone();
+                            single.shards = ShardPolicy::Single;
+                            (single, None)
+                        };
+                        let (a_plan, outcome) = Self::prepare_single(&single, input)?;
+                        (a_plan, outcome, Some(reason.to_string()), decision, single)
+                    }
+                }
+            };
         // One unified pool for the whole plan: the frozen A-side plan's
         // arena (already warm from the prepare run) also serves the
         // per-layer X engines — a second pool would double retention and
@@ -254,11 +349,21 @@ impl GcnRunner {
         };
         Ok((
             GcnPlan {
-                config: self.config.clone(),
+                // The resolved configuration (identical to self.config
+                // under Manual, except that a degraded Auto prepare records
+                // its re-scored unsharded resolution): per-request
+                // execution must replay exactly the knobs the plan was
+                // built under.
+                config: if is_auto {
+                    plan_config
+                } else {
+                    self.config.clone()
+                },
                 a_norm_csc: input.a_norm_csc.clone(),
                 weights: input.weights.clone(),
                 a_plan,
                 degraded,
+                auto: decision,
                 xw_arena,
             },
             outcome,
@@ -395,6 +500,9 @@ pub struct GcnPlan {
     /// `Some(reason)` when a failing sharded prepare degraded to this
     /// unsharded plan (see [`GcnPlan::degraded`]).
     degraded: Option<String>,
+    /// The cost model's resolution when the plan was prepared under
+    /// [`StrategyPolicy::Auto`] (see [`GcnPlan::auto_decision`]).
+    auto: Option<AutoDecision>,
     /// Scratch pool shared into every per-layer `X × W` engine (those are
     /// transient, so without a plan-owned pool each layer of each request
     /// would re-grow one). The consumed `XW` intermediate is recycled here
@@ -405,9 +513,24 @@ pub struct GcnPlan {
 }
 
 impl GcnPlan {
-    /// The configuration the plan was prepared under.
+    /// The configuration the plan was prepared under. For a plan prepared
+    /// under [`StrategyPolicy::Auto`] this is the *resolved* configuration
+    /// (the cost model's winning knobs, strategy set back to `Manual`) —
+    /// per-request execution replays exactly what the warm-up ran.
     pub fn config(&self) -> &AccelConfig {
         &self.config
+    }
+
+    /// The cost model's resolution when the plan was prepared under
+    /// [`StrategyPolicy::Auto`]: the chosen design/shards/replay, the
+    /// predicted cycles/wall, and the per-layer forecast. `None` for a
+    /// `Manual` prepare. When [`degraded`](GcnPlan::degraded) is also set,
+    /// the decision carries
+    /// [`rescored_unsharded`](AutoDecision::rescored_unsharded): it was
+    /// re-scored against the unsharded candidate set after the sharded
+    /// prepare failed.
+    pub fn auto_decision(&self) -> Option<&AutoDecision> {
+        self.auto.as_ref()
     }
 
     /// The normalized adjacency the plan serves (CSC).

@@ -32,6 +32,11 @@
 //! partial products merge in an order pinned bit-identical to the
 //! unsharded path (see `DESIGN.md` §7).
 //!
+//! Strategy selection itself can be delegated to the calibrated per-layer
+//! cost model ([`StrategyPolicy::Auto`] / [`cost`]): prepare profiles the
+//! input, scores the candidate design/shard/replay space, and freezes the
+//! predicted-fastest configuration — bit-identical to hand-specifying it.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -56,6 +61,7 @@
 
 mod area;
 mod config;
+pub mod cost;
 mod energy;
 mod engine;
 mod error;
@@ -73,8 +79,9 @@ pub mod trace;
 pub use area::{AreaBreakdown, AreaModel};
 pub use config::{
     AccelConfig, AccelConfigBuilder, Design, MappingKind, RetryPolicy, ServeOptions, ShardPolicy,
-    SltPolicy, StallMode,
+    SltPolicy, StallMode, StrategyPolicy,
 };
+pub use cost::{AutoDecision, Calibration, CostProfile, ExecOrder, LayerForecast};
 pub use energy::{cycles_to_ms, EnergyModel};
 pub use engine::{
     ArenaStats, DetailedEngine, FastEngine, PlanOutcome, PlanShard, Scratch, ScratchArena,
@@ -88,8 +95,8 @@ pub use gcn_run::{verify_against_reference, GcnPlan, GcnRunOutcome, GcnRunner};
 pub use mapping::RowMap;
 pub use rebalance::{AutoTuner, LocalSharing, RemoteSwitcher, RoundProfile, SwitchPlan};
 pub use serve::{
-    validate_ingest, AdmissionOutcome, BatchOutcome, CacheStats, GcnService, IsolatedBatch,
-    LatencyPercentiles, PrepareReport, RequestOutcome,
+    validate_ingest, AdmissionOutcome, AutoReport, BatchOutcome, CacheStats, GcnService,
+    IsolatedBatch, LatencyPercentiles, PrepareReport, RequestOutcome,
 };
 pub use stats::{LayerStats, RoundStats, RunStats, SpmmStats};
 pub use sweep::{sweep_csv, DesignSweep, SweepPoint};

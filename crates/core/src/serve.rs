@@ -63,7 +63,8 @@
 //!   deterministic panics/NaN payloads/delays at the `drain`/`serve`
 //!   sites; disabled injection is a single `Option` test per request.
 
-use crate::config::{AccelConfig, RetryPolicy, ServeOptions};
+use crate::config::{AccelConfig, RetryPolicy, ServeOptions, StrategyPolicy};
+use crate::cost::AutoDecision;
 use crate::engine::steady::structure_fingerprint;
 use crate::error::AccelError;
 use crate::exec;
@@ -103,6 +104,38 @@ pub struct PrepareReport {
     /// runner degraded to an unsharded plan (see [`GcnPlan::degraded`]);
     /// `None` when the plan was prepared exactly as configured.
     pub degraded: Option<String>,
+    /// Strategy policy the plan was prepared under (`"manual"`/`"auto"`).
+    pub policy: &'static str,
+    /// The cost model's resolution and its predicted-vs-measured scorecard
+    /// when the plan was prepared under
+    /// [`StrategyPolicy::Auto`](crate::StrategyPolicy::Auto); `None` under
+    /// `Manual`.
+    pub auto: Option<AutoReport>,
+}
+
+/// The Auto-strategy scorecard attached to a [`PrepareReport`]: which
+/// configuration the calibrated cost model chose, and its predictions next
+/// to what the warm-up actually measured.
+#[derive(Debug, Clone)]
+pub struct AutoReport {
+    /// Human label of the winning configuration
+    /// (see [`AutoDecision::label`]).
+    pub chosen: String,
+    /// Predicted warm-path cycles for the chosen configuration.
+    pub predicted_cycles: f64,
+    /// Cycles the warm-up actually took. Includes the one-time tuning
+    /// rounds the prediction deliberately excludes, so expect
+    /// `predicted <= measured` on skew-heavy graphs.
+    pub measured_cycles: u64,
+    /// Predicted host wall seconds for one warm request.
+    pub predicted_wall_s: f64,
+    /// Host wall seconds of the (cold, tuning-inclusive) warm-up pass.
+    pub measured_wall_s: f64,
+    /// Candidate configurations the model scored.
+    pub candidates_scored: usize,
+    /// True when the decision was re-scored against the unsharded
+    /// candidate set after a degraded sharded prepare.
+    pub rescored_unsharded: bool,
 }
 
 /// One served request's result.
@@ -649,14 +682,26 @@ impl GcnService {
             .map(|l| (l.xw.n_pes / self.config.n_pes).max(1))
             .max()
             .unwrap_or(1);
+        let wall_s = start.elapsed().as_secs_f64();
+        let auto = plan.auto_decision().map(|d| AutoReport {
+            chosen: d.label(),
+            predicted_cycles: d.predicted_cycles,
+            measured_cycles: warmup.stats.total_cycles(),
+            predicted_wall_s: d.predicted_wall_s,
+            measured_wall_s: wall_s,
+            candidates_scored: d.candidates_scored,
+            rescored_unsharded: d.rescored_unsharded,
+        });
         let report = PrepareReport {
             graph: name.clone(),
             tuning_rounds: plan.tuning_rounds(),
             total_switches: plan.total_switches(),
             shards: plan.shard_count(),
             combination_shards,
-            wall_s: start.elapsed().as_secs_f64(),
+            wall_s,
             degraded: plan.degraded().map(String::from),
+            policy: self.config.strategy.label(),
+            auto,
             warmup,
         };
         self.graphs.insert(name, plan);
@@ -710,7 +755,7 @@ impl GcnService {
     /// The cached plan for `input`'s graph, if resident and still
     /// matching (does not touch LRU order or counters).
     pub fn cached_plan(&self, input: &GcnInput) -> Option<Arc<GcnPlan>> {
-        let key = structure_fingerprint(&input.a_norm_csc);
+        let (key, _) = self.plan_key(input);
         self.cache
             .get(&key)
             .filter(|e| e.plan.matches(input))
@@ -726,7 +771,7 @@ impl GcnService {
     /// the budget. The returned plan itself is never evicted by its own
     /// insertion (a budget smaller than one plan keeps exactly that plan).
     fn lookup_or_prepare(&mut self, input: &GcnInput) -> Result<Arc<GcnPlan>, AccelError> {
-        let key = structure_fingerprint(&input.a_norm_csc);
+        let (key, decision) = self.plan_key(input);
         self.lru_clock += 1;
         if let Some(entry) = self.cache.get_mut(&key) {
             if entry.plan.matches(input) {
@@ -736,7 +781,8 @@ impl GcnService {
             }
         }
         self.cache_misses += 1;
-        let (plan, _warmup) = GcnRunner::new(self.config.clone()).prepare(input)?;
+        let (plan, _warmup) =
+            GcnRunner::new(self.config.clone()).prepare_with_decision(input, decision)?;
         let plan = Arc::new(plan);
         let entry = CacheEntry {
             plan: Arc::clone(&plan),
@@ -749,6 +795,23 @@ impl GcnService {
         }
         self.evict_over_budget(key);
         Ok(plan)
+    }
+
+    /// The cache key for `input`'s plan, plus the Auto decision (if any)
+    /// that was folded into it. Under [`StrategyPolicy::Manual`] the key is
+    /// the structure fingerprint alone; under `Auto` the resolved choice is
+    /// mixed in, so two tenants whose graphs collide on structure but
+    /// resolve to different configurations occupy distinct cache slots.
+    fn plan_key(&self, input: &GcnInput) -> (u64, Option<AutoDecision>) {
+        let mut key = structure_fingerprint(&input.a_norm_csc);
+        let decision = match self.config.strategy {
+            StrategyPolicy::Manual => None,
+            StrategyPolicy::Auto => GcnRunner::new(self.config.clone()).resolve_strategy(input),
+        };
+        if let Some(d) = &decision {
+            key ^= d.choice_hash().rotate_left(17);
+        }
+        (key, decision)
     }
 
     /// Evicts least-recently-used entries (never `keep`) while the

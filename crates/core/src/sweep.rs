@@ -2,7 +2,8 @@
 //! workload and collect the per-point metrics the paper's Figs. 14/15 plot.
 
 use crate::area::AreaModel;
-use crate::config::{AccelConfig, Design};
+use crate::config::{AccelConfig, Design, StrategyPolicy};
+use crate::cost::CostProfile;
 use crate::error::AccelError;
 use crate::exec;
 use crate::gcn_run::GcnRunner;
@@ -32,6 +33,11 @@ pub struct SweepPoint {
     pub tq_slots: usize,
     /// Modeled total area in CLBs.
     pub clb_total: f64,
+    /// The calibrated cost model's warm-path cycle prediction for this
+    /// point (see [`crate::cost::predict_config_cycles`]) — computed from
+    /// one structure profile shared across the whole grid, so sweeps put
+    /// the model next to every measurement for free.
+    pub predicted_cycles: f64,
 }
 
 /// Grid sweep runner.
@@ -131,14 +137,23 @@ impl DesignSweep {
                 )));
             }
         }
+        // The structure profile depends only on the input, not the grid
+        // point, so compute it once here and share it with every prepare
+        // instead of re-profiling per point.
+        let profile = CostProfile::of_input(input);
         exec::par_map(&grid, |&(n_pes, design)| {
             let mut config = design.apply(self.base.clone());
             config.n_pes = n_pes;
+            // The design/PE axes ARE the sweep variables: an Auto base
+            // would collapse every point onto the model's single winner,
+            // so grid points always execute their own configuration.
+            config.strategy = StrategyPolicy::Manual;
             // Prepare once per point: the cold warm-up run is the classic
             // (tuning-inclusive) measurement, and the extracted plan is
             // reused for a warm request — the steady-state serving figure
             // (plan shared between both, tuning paid exactly once).
-            let (plan, outcome) = GcnRunner::new(config.clone()).prepare(input)?;
+            let (plan, outcome) =
+                GcnRunner::new(config.clone()).prepare_profiled(input, &profile)?;
             let warm = plan.run_input(input)?;
             let tq_slots = outcome
                 .stats
@@ -157,6 +172,7 @@ impl DesignSweep {
                 max_queue_depth: outcome.stats.max_queue_depth(),
                 tq_slots,
                 clb_total: self.area_model.breakdown(&config, tq_slots).total(),
+                predicted_cycles: crate::cost::predict_config_cycles(&config, &profile),
             })
         })
         .into_iter()
@@ -165,15 +181,15 @@ impl DesignSweep {
 }
 
 /// Renders sweep points as CSV:
-/// `design,n_pes,cycles,utilization,warm_cycles,warm_utilization,max_queue_depth,tq_slots,clb_total`.
+/// `design,n_pes,cycles,utilization,warm_cycles,warm_utilization,max_queue_depth,tq_slots,clb_total,predicted_cycles`.
 pub fn sweep_csv(points: &[SweepPoint]) -> String {
     let mut out = String::from(
         "design,n_pes,cycles,utilization,warm_cycles,warm_utilization,\
-         max_queue_depth,tq_slots,clb_total\n",
+         max_queue_depth,tq_slots,clb_total,predicted_cycles\n",
     );
     for p in points {
         out.push_str(&format!(
-            "{},{},{},{:.4},{},{:.4},{},{},{:.0}\n",
+            "{},{},{},{:.4},{},{:.4},{},{},{:.0},{:.0}\n",
             p.design.label(),
             p.n_pes,
             p.cycles,
@@ -183,6 +199,7 @@ pub fn sweep_csv(points: &[SweepPoint]) -> String {
             p.max_queue_depth,
             p.tq_slots,
             p.clb_total,
+            p.predicted_cycles,
         ));
     }
     out
@@ -224,6 +241,8 @@ mod tests {
                 p.cycles
             );
             assert!(p.warm_utilization > 0.0 && p.warm_utilization <= 1.0);
+            // The shared-profile cost prediction rides along every point.
+            assert!(p.predicted_cycles.is_finite() && p.predicted_cycles > 0.0);
         }
     }
 

@@ -113,6 +113,13 @@ impl Csc {
         self.col_ptr[col + 1] - self.col_ptr[col]
     }
 
+    /// The vector of per-column non-zero counts (the per-round delivery
+    /// workload when this matrix is the sparse operand: column `c` of `A`
+    /// streams once per dense `B` column).
+    pub fn col_nnz_counts(&self) -> Vec<usize> {
+        (0..self.cols).map(|c| self.col_nnz(c)).collect()
+    }
+
     /// Iterates over the `(row, value)` entries of `col`.
     ///
     /// # Panics

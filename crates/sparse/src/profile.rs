@@ -6,7 +6,7 @@
 //! evaluation discussion (a power-law adjacency has a heavy-tailed row-nnz
 //! distribution, which is exactly what defeats static row partitioning).
 
-use crate::Csr;
+use crate::{Csc, Csr};
 
 /// Summary statistics of a row-nnz (or any workload) distribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +113,13 @@ pub fn gini_coefficient(counts: &[usize]) -> f64 {
 /// Profiles the row-nnz distribution of a CSR matrix.
 pub fn row_nnz_stats(m: &Csr) -> NnzStats {
     workload_stats(&m.row_nnz_counts())
+}
+
+/// Profiles the column-nnz distribution of a CSC matrix — the per-round
+/// delivery-side skew (column `c` of the sparse operand streams once per
+/// dense column), complementing [`row_nnz_stats`]'s accumulation-side view.
+pub fn col_nnz_stats(m: &Csc) -> NnzStats {
+    workload_stats(&m.col_nnz_counts())
 }
 
 /// Log-2-binned histogram of per-row nnz counts: `bins[i]` counts rows with
@@ -276,6 +283,22 @@ mod tests {
         assert_eq!(s.imbalance_factor, 4.0);
         assert!(s.gini > 0.7);
         assert!(s.cv > 1.0);
+    }
+
+    #[test]
+    fn col_stats_mirror_row_stats_on_transpose() {
+        let mut m = Coo::new(4, 4);
+        for c in 0..4 {
+            m.push(0, c, 1.0).unwrap();
+        }
+        m.push(2, 1, 1.0).unwrap();
+        let csr = m.to_csr();
+        let col = col_nnz_stats(&csr.to_csc());
+        assert_eq!(col.count, 4);
+        assert_eq!(col.total, 5);
+        assert_eq!(col.max, 2); // column 1 holds (0,1) and (2,1)
+        let row = row_nnz_stats(&csr);
+        assert_eq!(row.max, 4);
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! awb-sim profile <dataset> [--scale F] [--seed N]
-//! awb-sim run     <dataset> [--design D] [--pes N] [--scale F] [--seed N] [--csv]
-//!                 [--shards S] [--xw-shards S] [--mem-budget MB]
+//! awb-sim run     <dataset> [--design D | --auto] [--pes N] [--scale F] [--seed N]
+//!                 [--csv] [--shards S] [--xw-shards S] [--mem-budget MB]
 //! awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
-//! awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N]
-//!                 [--shards S] [--xw-shards S] [--mem-budget MB] [--faults SEED]
-//!                 [--compare-cold]
+//! awb-sim sweep   <dataset> [--pes N] [--scale F] [--seed N] [--auto]
+//! awb-sim serve   <dataset> [--requests N] [--batch B] [--design D | --auto]
+//!                 [--pes N] [--shards S] [--xw-shards S] [--mem-budget MB]
+//!                 [--faults SEED] [--compare-cold]
 //! awb-sim serve   <dataset> --trace [--queue-depth D] [--cache-plans MB]
 //!                 [--deadline-ms MS] [--retries N] [--faults SEED]
 //!                 [--compare-cold]
@@ -26,6 +27,17 @@
 //! memory budget of MB megabytes per device (mutually exclusive with the
 //! fixed counts). Outputs are bit-identical in every combination.
 //!
+//! `--auto` delegates the whole choice — design point, shard counts,
+//! replay — to the calibrated per-layer cost model (`StrategyPolicy::Auto`):
+//! prepare profiles the input, scores the candidate space, and freezes the
+//! predicted-fastest configuration. It therefore rejects `--design`,
+//! `--shards`, and `--xw-shards` (the model owns those knobs), while
+//! `--mem-budget` still applies (it shapes the memory model the candidates
+//! are scored against). `sweep` runs the paper's design lineup at one PE
+//! count and prints per-point CSV (cold/warm measurements next to the cost
+//! model's prediction); with `--auto` it additionally reports the model's
+//! pick against the post-hoc best point.
+//!
 //! Fault tolerance (DESIGN.md §10): `--faults SEED` arms the deterministic
 //! fault-injection plan (seeded panics / NaN payloads / delays); faulted
 //! requests surface as typed `FAULTED` lines while the rest of the batch
@@ -37,8 +49,9 @@ use std::error::Error;
 use std::process::ExitCode;
 
 use awb_gcn_repro::accel::{
-    trace, AccelConfig, AccelError, Design, FaultPlan, GcnRunner, GcnService, IsolatedBatch,
-    LatencyPercentiles, RequestOutcome, RetryPolicy, ServeOptions, ShardPolicy,
+    sweep_csv, trace, AccelConfig, AccelError, Design, DesignSweep, FaultPlan, GcnRunner,
+    GcnService, IsolatedBatch, LatencyPercentiles, RequestOutcome, RetryPolicy, ServeOptions,
+    ShardPolicy, StrategyPolicy,
 };
 use awb_gcn_repro::datasets::rng::Pcg64;
 use awb_gcn_repro::datasets::{DatasetSpec, GeneratedDataset, PaperDataset};
@@ -48,11 +61,12 @@ use awb_gcn_repro::sparse::profile::row_nnz_stats;
 
 const USAGE: &str = "usage:
   awb-sim profile <dataset> [--scale F] [--seed N]
-  awb-sim run     <dataset> [--design D] [--pes N] [--scale F] [--seed N] [--csv]
-                  [--shards S] [--xw-shards S] [--mem-budget MB]
+  awb-sim run     <dataset> [--design D | --auto] [--pes N] [--scale F] [--seed N]
+                  [--csv] [--shards S] [--xw-shards S] [--mem-budget MB]
   awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
-  awb-sim serve   <dataset> [--requests N] [--batch B] [--design D] [--pes N]
-                  [--scale F] [--seed N] [--shards S] [--xw-shards S]
+  awb-sim sweep   <dataset> [--pes N] [--scale F] [--seed N] [--auto]
+  awb-sim serve   <dataset> [--requests N] [--batch B] [--design D | --auto]
+                  [--pes N] [--scale F] [--seed N] [--shards S] [--xw-shards S]
                   [--mem-budget MB] [--faults SEED] [--compare-cold]
   awb-sim serve   <dataset> --trace [--queue-depth D] [--cache-plans MB]
                   [--deadline-ms MS] [--retries N] [--faults SEED]
@@ -72,6 +86,13 @@ const USAGE: &str = "usage:
               the combination phase X*W          (default unsharded)
   --mem-budget: on-chip budget in MB per shard device; derives BOTH shard
                 counts (mutually exclusive with --shards/--xw-shards)
+  --auto:     let the calibrated cost model pick the design point, shard
+              counts, and replay at prepare time; rejects --design,
+              --shards and --xw-shards (--mem-budget still applies: it
+              shapes the memory model candidates are scored against)
+  sweep: runs the paper design lineup at one PE count and prints per-point
+         CSV (cold/warm cycles next to the cost model prediction); with
+         --auto also reports the model's pick vs the post-hoc best point
   serve options:
   --requests: feature-matrix requests to serve   (default 8)
   --batch:    batch size per serve() call        (default all requests)
@@ -115,6 +136,7 @@ fn dispatch(args: &[String]) -> Result<(), Box<dyn Error>> {
         "profile" => profile(&args[1..]),
         "run" => run(&args[1..]),
         "compare" => compare(&args[1..]),
+        "sweep" => sweep(&args[1..]),
         "serve" => serve(&args[1..]),
         "export" => export(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -132,6 +154,7 @@ struct Options {
     seed: u64,
     pes: Option<usize>,
     design: Design,
+    auto: bool,
     csv: bool,
     threads: Option<usize>,
     replay: bool,
@@ -157,6 +180,8 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     let mut seed = 42u64;
     let mut pes = None;
     let mut design = Design::LocalPlusRemote { hop: 2 };
+    let mut design_set = false;
+    let mut auto = false;
     let mut csv = false;
     let mut threads = None;
     let mut replay = true;
@@ -178,7 +203,11 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
             "--scale" => scale = next_value(&mut it, "--scale")?.parse()?,
             "--seed" => seed = next_value(&mut it, "--seed")?.parse()?,
             "--pes" => pes = Some(next_value(&mut it, "--pes")?.parse()?),
-            "--design" => design = parse_design(next_value(&mut it, "--design")?)?,
+            "--design" => {
+                design = parse_design(next_value(&mut it, "--design")?)?;
+                design_set = true;
+            }
+            "--auto" => auto = true,
             "--csv" => csv = true,
             "--threads" => threads = Some(next_value(&mut it, "--threads")?.parse()?),
             "--no-replay" => replay = false,
@@ -252,12 +281,22 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     if (shards.is_some() || xw_shards.is_some()) && mem_budget_mb.is_some() {
         return Err("--shards/--xw-shards and --mem-budget are mutually exclusive".into());
     }
+    if auto && (design_set || shards.is_some() || xw_shards.is_some()) {
+        // Same typed rejection the service gives malformed ingest: the
+        // cost model owns these knobs under --auto.
+        return Err(Box::new(AccelError::InvalidInput(
+            "--auto derives the design and shard counts from the cost model; drop \
+             --design/--shards/--xw-shards"
+                .into(),
+        )));
+    }
     Ok(Options {
         dataset: dataset.ok_or("missing <dataset>")?,
         scale,
         seed,
         pes,
         design,
+        auto,
         csv,
         threads,
         replay,
@@ -351,6 +390,9 @@ fn config_for(opts: &Options) -> Result<AccelConfig, Box<dyn Error>> {
     if let Some(seed) = opts.faults {
         config.faults = Some(FaultPlan::new(seed));
     }
+    if opts.auto {
+        config.strategy = StrategyPolicy::Auto;
+    }
     Ok(config)
 }
 
@@ -385,7 +427,26 @@ fn profile(args: &[String]) -> Result<(), Box<dyn Error>> {
 fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     let opts = parse_options(args)?;
     let (_, _, input) = load(&opts)?;
-    let config = config_for(&opts)?;
+    let mut config = config_for(&opts)?;
+    let mut design_label = opts.design.label();
+    if opts.auto {
+        // Resolve the decision up front so the run below executes the
+        // frozen Manual configuration (identical to hand-specifying it)
+        // and the choice can be surfaced before the cycle report.
+        let decision = GcnRunner::new(config.clone())
+            .resolve_strategy(&input)
+            .ok_or("--auto produced no decision")?;
+        if !opts.csv {
+            println!(
+                "auto      : chose {} (predicted {:.0} cycles, {} candidates scored)",
+                decision.label(),
+                decision.predicted_cycles,
+                decision.candidates_scored,
+            );
+        }
+        config = decision.apply(&config);
+        design_label = decision.design.label();
+    }
     let outcome = GcnRunner::new(config.clone()).run(&input)?;
     if opts.csv {
         print!("{}", trace::run_spmm_csv(&outcome.stats));
@@ -393,7 +454,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     println!(
         "design {} on {} PEs: {} cycles ({:.4} ms @{} MHz), utilization {:.1}%",
-        opts.design.label(),
+        design_label,
         config.n_pes,
         outcome.stats.total_cycles(),
         outcome.latency_ms(config.freq_mhz),
@@ -480,6 +541,46 @@ fn compare(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// `sweep`: the paper's design lineup at one PE count, each point measured
+/// cold and warm with the cost model's prediction alongside; `--auto`
+/// additionally pits the model's pick against the post-hoc best point.
+fn sweep(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = parse_options(args)?;
+    let (_, _, input) = load(&opts)?;
+    let mut base = config_for(&opts)?;
+    // The grid explores the design axis itself, so points always execute
+    // their own configuration; Auto is evaluated against the measured
+    // points afterwards, not inside them.
+    base.strategy = StrategyPolicy::Manual;
+    let points = DesignSweep::new()
+        .pe_counts(vec![base.n_pes])
+        .base_config(base.clone())
+        .run(&input)?;
+    print!("{}", sweep_csv(&points));
+    if opts.auto {
+        let mut auto_config = base;
+        auto_config.strategy = StrategyPolicy::Auto;
+        let decision = GcnRunner::new(auto_config.clone())
+            .resolve_strategy(&input)
+            .ok_or("--auto produced no decision")?;
+        let (plan, _) = GcnRunner::new(auto_config).prepare(&input)?;
+        let auto_warm = plan.run_input(&input)?.stats.total_cycles();
+        let best = points
+            .iter()
+            .min_by_key(|p| p.warm_cycles)
+            .ok_or("empty sweep")?;
+        println!(
+            "auto: chose {} — warm {} cycles vs post-hoc best {} ({}), ratio {:.3}",
+            decision.label(),
+            auto_warm,
+            best.warm_cycles,
+            best.design.label(),
+            auto_warm as f64 / best.warm_cycles.max(1) as f64,
+        );
+    }
+    Ok(())
+}
+
 /// `serve`: prepare the graph once, then serve batches of feature-matrix
 /// requests against the shared plan — the plan/execute split end to end.
 fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
@@ -524,7 +625,11 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
         spec.name,
         spec.nodes,
         config.n_pes,
-        opts.design.label(),
+        if opts.auto {
+            "auto".to_string()
+        } else {
+            opts.design.label()
+        },
         report.shards,
         report.combination_shards,
         report.tuning_rounds,
@@ -532,6 +637,21 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
         report.warmup.stats.total_cycles(),
         report.wall_s,
     );
+    if let Some(auto) = &report.auto {
+        println!(
+            "auto      : chose {} — predicted {:.0} cycles vs {} measured warm-up \
+             (tuning-inclusive), {} candidates scored{}",
+            auto.chosen,
+            auto.predicted_cycles,
+            auto.measured_cycles,
+            auto.candidates_scored,
+            if auto.rescored_unsharded {
+                ", re-scored unsharded after degraded prepare"
+            } else {
+                ""
+            },
+        );
+    }
 
     let serve_start = std::time::Instant::now();
     // Isolated serving: a faulted request surfaces as its slot's typed

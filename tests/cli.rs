@@ -470,10 +470,113 @@ fn bad_inputs_are_rejected() {
         &["serve", "cora", "--trace", "--retries"][..],
         &["serve", "cora", "--faults"][..],
         &["run", "cora", "--deadline-ms", "100"][..],
+        &["run", "cora", "--auto", "--design", "base"][..],
+        &["run", "cora", "--auto", "--shards", "2"][..],
+        &["run", "cora", "--auto", "--xw-shards", "2"][..],
+        &["serve", "cora", "--auto", "--design", "ls2+rs"][..],
+        &["sweep", "cora", "--auto", "--shards", "2"][..],
     ] {
         let out = awb_sim(args);
         assert!(!out.status.success(), "accepted: {args:?}");
     }
+}
+
+/// Golden error path for the `--auto` exclusivity rule: the rejection is
+/// the typed `InvalidInput` admission error (mirroring the
+/// `--shards`/`--mem-budget` exclusivity), not a generic parse failure.
+#[test]
+fn auto_conflicts_are_typed_invalid_input() {
+    let out = awb_sim(&["run", "cora", "--auto", "--design", "base"]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("invalid input rejected at admission"),
+        "missing typed InvalidInput in:\n{err}"
+    );
+    assert!(
+        err.contains("--auto derives the design and shard counts"),
+        "missing explanation in:\n{err}"
+    );
+}
+
+/// `run --auto` surfaces the cost model's resolved choice before the cycle
+/// report, and executes the frozen configuration it names.
+#[test]
+fn run_auto_reports_resolved_choice() {
+    let out = awb_sim(&["run", "cora", "--auto", "--scale", "0.2", "--pes", "32"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("auto      : chose "), "{text}");
+    assert!(text.contains("candidates scored"), "{text}");
+    assert!(text.contains("| replay "), "{text}");
+    assert!(
+        text.contains("design ") && text.contains(" on 32 PEs"),
+        "{text}"
+    );
+}
+
+/// `serve --auto` carries the decision through the `PrepareReport`:
+/// predicted cycles next to the measured warm-up.
+#[test]
+fn serve_auto_reports_predicted_vs_measured() {
+    let out = awb_sim(&[
+        "serve",
+        "cora",
+        "--auto",
+        "--scale",
+        "0.2",
+        "--pes",
+        "32",
+        "--requests",
+        "2",
+        "--compare-cold",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("design auto"), "{text}");
+    assert!(text.contains("auto      : chose "), "{text}");
+    assert!(
+        text.contains("predicted ") && text.contains("measured warm-up"),
+        "{text}"
+    );
+    assert!(text.contains("outputs bit-identical"), "{text}");
+}
+
+/// `sweep` prints the per-point CSV (with the cost model prediction
+/// column) and, under `--auto`, the pick-vs-post-hoc-best ratio line.
+#[test]
+fn sweep_auto_reports_ratio_against_best_point() {
+    let out = awb_sim(&["sweep", "cora", "--auto", "--scale", "0.2", "--pes", "32"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("design,n_pes,cycles,") && text.contains("predicted_cycles"),
+        "{text}"
+    );
+    for label in ["Base", "LS1", "LS2", "LS1+RS", "LS2+RS"] {
+        assert!(
+            text.contains(&format!("{label},32,")),
+            "missing {label} in:\n{text}"
+        );
+    }
+    assert!(text.contains("auto: chose "), "{text}");
+    assert!(
+        text.contains("vs post-hoc best") && text.contains("ratio "),
+        "{text}"
+    );
 }
 
 /// Golden-structure test of fault-injected serving: under a fixed fault
