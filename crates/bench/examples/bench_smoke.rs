@@ -34,6 +34,11 @@
 //! warm-path cycles, sweeps the paper lineup post hoc, and records the
 //! machine-independent `"auto_best_ratio"` (auto warm cycles over the
 //! post-hoc best point's) — gated warn-only when it exceeds 1.10.
+//! An out-of-core record (schema 9, `"workload"`: `"streamed"`) runs the
+//! Design-D point on Pubmed from a chunked on-disk store under a host
+//! budget a third of the resident adjacency, recording resident-peak
+//! bytes, exact store-read bytes, and the prefetch overlap fraction —
+//! warn-only in the compare gate like the other end-to-end records.
 //! Every record carries `"workload"` (`"spmm"` for the engine records)
 //! and the compare gate matches on (workload, design, replay, shards,
 //! xw_shards); `"spmm"` and `"kernel"` records gate hard (`"kernel"`
@@ -380,6 +385,55 @@ fn auto_record() -> String {
     )
 }
 
+/// The out-of-core record (schema 9): the Design-D point on Pubmed
+/// streamed from a chunked on-disk store, best-of-three cold runs under a
+/// host budget a third of the resident adjacency (so the pipeline must
+/// shard). Residency and overlap ride along; the compare gate treats the
+/// `"streamed"` workload warn-only like the other end-to-end records.
+fn streamed_record() -> String {
+    let design = Design::LocalPlusRemote { hop: 2 };
+    let data = GeneratedDataset::generate(&DatasetSpec::pubmed(), BENCH_SEED).expect("dataset");
+    let input = GcnInput::from_dataset(&data).expect("gcn input");
+    let budget = (input.a_norm_csc.heap_bytes() / 3).max(1);
+    let dir = std::env::temp_dir().join(format!("awb-bench-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    // Two host workers so the prefetch lane genuinely runs beside compute
+    // (file I/O blocks off-CPU, so this overlaps even on one core).
+    let mut builder = AccelConfig::builder();
+    builder.n_pes(1024).threads(Some(2));
+    let mut config = design.apply(builder.build().expect("config"));
+    config.store = Some(dir.clone());
+    config.host_mem_budget = Some(budget);
+    let runner = GcnRunner::new(config);
+    // First run writes the store; the timed runs below stream it.
+    runner.run(&input).expect("store ingest");
+    let mut wall_s = f64::MAX;
+    let mut last = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let out = runner.run(&input).expect("streamed run");
+        wall_s = wall_s.min(start.elapsed().as_secs_f64().max(1e-9));
+        last = Some(out);
+    }
+    let out = last.expect("measured runs");
+    let stream = out.stream.expect("streamed stats");
+    let cycles = out.stats.total_cycles();
+    std::fs::remove_dir_all(&dir).ok();
+    format!(
+        "    {{\"dataset\": \"pubmed\", \"design\": \"{}\", \"replay\": true, \
+         \"shards\": {}, \"xw_shards\": 1, \"workload\": \"streamed\", \
+         \"policy\": \"manual\", \"n_pes\": 1024, \"tasks\": {cycles}, \
+         \"wall_s\": {wall_s:.6}, \"tasks_per_s\": {:.1}, \
+         \"resident_peak_bytes\": {}, \"io_bytes\": {}, \"overlap_fraction\": {:.4}}}",
+        design.label(),
+        stream.shards,
+        cycles as f64 / wall_s,
+        stream.resident_peak_bytes,
+        stream.io_bytes,
+        stream.overlap_fraction(),
+    )
+}
+
 fn write_bench(path: &str) {
     let data = GeneratedDataset::generate(&DatasetSpec::cora(), BENCH_SEED).expect("dataset");
     let a = data.adjacency.to_csc();
@@ -467,8 +521,12 @@ fn write_bench(path: &str) {
     // point, as a machine-independent warm-cycle ratio.
     records.push(auto_record());
 
+    // Out-of-core axis (schema 9): the streamed Design-D point with
+    // residency and prefetch-overlap accounting.
+    records.push(streamed_record());
+
     let json = format!(
-        "{{\n  \"schema\": 8,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
+        "{{\n  \"schema\": 9,\n  \"bench\": \"engine_throughput\",\n  \"quick\": true,\n  \
          \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
         exec::num_threads(),
         records.join(",\n")
@@ -504,6 +562,8 @@ fn check(path: &str) {
         "\"gflops\"",
         "\"policy\"",
         "\"auto_best_ratio\"",
+        "\"resident_peak_bytes\"",
+        "\"overlap_fraction\"",
     ] {
         if !text.contains(field) {
             eprintln!("BENCH check failed: {path} lacks required field {field}");

@@ -60,7 +60,12 @@ pub enum ShardPolicy {
     Fixed(usize),
     /// As few shards as possible such that each shard's non-zeros fit the
     /// on-chip budget of [`AccelConfig::memory`] — the memory-derived
-    /// policy (an unbounded memory model yields one shard).
+    /// policy (an unbounded memory model yields one shard). This is a
+    /// *device* budget: it sizes shards to the simulated accelerator's
+    /// SPMMeM capacity. The orthogonal *host* budget
+    /// ([`AccelConfig::host_mem_budget`]) instead bounds how many bytes
+    /// of sparse slices the simulating host keeps resident when streaming
+    /// from an on-disk [`store`](AccelConfig::store).
     MemoryBudget,
 }
 
@@ -260,7 +265,26 @@ pub struct AccelConfig {
     /// [`StrategyPolicy::Manual`]) or the calibrated per-layer cost model
     /// ([`StrategyPolicy::Auto`], resolved once per graph at prepare time).
     pub strategy: StrategyPolicy,
+    /// Directory of a chunked on-disk sparse store
+    /// ([`awb_sparse::store::SparseStore`]) to stream the adjacency from
+    /// (default `None` = fully resident). When set, aggregation runs
+    /// out-of-core through the [`StreamingEngine`](crate::StreamingEngine)
+    /// under [`host_mem_budget`](AccelConfig::host_mem_budget).
+    pub store: Option<std::path::PathBuf>,
+    /// *Host*-memory budget in bytes for streamed sparse slices (default
+    /// `None` = [`DEFAULT_HOST_MEM_BUDGET`] when a
+    /// [`store`](AccelConfig::store) is configured, unused otherwise).
+    /// Deliberately distinct from the *on-chip* capacity
+    /// ([`memory`](AccelConfig::memory)`.on_chip_bytes`), which sizes the
+    /// simulated device's SPMMeM/DCM buffers and drives
+    /// [`ShardPolicy::MemoryBudget`]: one knob bounds what the simulated
+    /// accelerator holds, the other bounds what the simulating host holds.
+    pub host_mem_budget: Option<usize>,
 }
+
+/// Default [`AccelConfig::host_mem_budget`] when a store is configured
+/// without an explicit budget: 256 MiB of resident sparse slices.
+pub const DEFAULT_HOST_MEM_BUDGET: usize = 256 << 20;
 
 impl AccelConfig {
     /// Starts a builder with the paper's defaults.
@@ -468,6 +492,8 @@ impl Default for AccelConfigBuilder {
                 combination_shards: ShardPolicy::Single,
                 faults: None,
                 strategy: StrategyPolicy::Manual,
+                store: None,
+                host_mem_budget: None,
             },
         }
     }
@@ -605,6 +631,21 @@ impl AccelConfigBuilder {
         self
     }
 
+    /// Sets (or with `None`, clears) the on-disk sparse store directory
+    /// the adjacency streams from (see [`AccelConfig::store`]).
+    pub fn store(&mut self, dir: Option<std::path::PathBuf>) -> &mut Self {
+        self.config.store = dir;
+        self
+    }
+
+    /// Sets the host-memory budget in bytes for streamed sparse slices
+    /// (`Some(n)` requires `n >= 1` and a configured
+    /// [`store`](AccelConfigBuilder::store); `None` restores the default).
+    pub fn host_mem_budget(&mut self, bytes: Option<usize>) -> &mut Self {
+        self.config.host_mem_budget = bytes;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -668,6 +709,24 @@ impl AccelConfigBuilder {
         if c.combination_shards == ShardPolicy::Fixed(0) {
             return Err(AccelError::InvalidConfig(
                 "combination shard count must be >= 1 (use ShardPolicy::Single for no sharding)"
+                    .into(),
+            ));
+        }
+        if c.store.is_some() && c.shards != ShardPolicy::Single {
+            return Err(AccelError::InvalidConfig(
+                "a sparse store streams the aggregation operand out of core; it conflicts \
+                 with an aggregation shard policy (leave shards at ShardPolicy::Single)"
+                    .into(),
+            ));
+        }
+        if c.host_mem_budget == Some(0) {
+            return Err(AccelError::InvalidConfig(
+                "host_mem_budget must be >= 1 byte when set (use None for the default)".into(),
+            ));
+        }
+        if c.host_mem_budget.is_some() && c.store.is_none() {
+            return Err(AccelError::InvalidConfig(
+                "host_mem_budget only applies to out-of-core runs; configure a store directory"
                     .into(),
             ));
         }
@@ -782,6 +841,54 @@ mod tests {
         };
         assert_eq!(budgeted.combination_partitioner().partition(&a).len(), 4);
         assert_eq!(budgeted.partitioner().partition(&a).len(), 1);
+    }
+
+    #[test]
+    fn store_and_host_budget_validation() {
+        // Defaults: fully resident, no budget.
+        let c = AccelConfig::paper_default();
+        assert_eq!(c.store, None);
+        assert_eq!(c.host_mem_budget, None);
+        // A store alone is fine (budget defaults downstream).
+        assert!(AccelConfig::builder()
+            .store(Some("graphs/pubmed.store".into()))
+            .build()
+            .is_ok());
+        // Budget with a store is fine; zero budget is rejected; a budget
+        // without a store is a typed error, not silently ignored.
+        assert!(AccelConfig::builder()
+            .store(Some("graphs/pubmed.store".into()))
+            .host_mem_budget(Some(64 << 20))
+            .build()
+            .is_ok());
+        assert!(matches!(
+            AccelConfig::builder()
+                .store(Some("graphs/pubmed.store".into()))
+                .host_mem_budget(Some(0))
+                .build(),
+            Err(AccelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            AccelConfig::builder()
+                .host_mem_budget(Some(64 << 20))
+                .build(),
+            Err(AccelError::InvalidConfig(_))
+        ));
+        // Streaming replaces device-sharding of A: combining them is a
+        // conflict, not a silent precedence rule.
+        assert!(matches!(
+            AccelConfig::builder()
+                .store(Some("graphs/pubmed.store".into()))
+                .shards(ShardPolicy::Fixed(2))
+                .build(),
+            Err(AccelError::InvalidConfig(_))
+        ));
+        // The combination axis is orthogonal (X is never streamed).
+        assert!(AccelConfig::builder()
+            .store(Some("graphs/pubmed.store".into()))
+            .combination_shards(ShardPolicy::Fixed(2))
+            .build()
+            .is_ok());
     }
 
     #[test]

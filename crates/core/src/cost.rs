@@ -76,6 +76,32 @@ pub struct Calibration {
     pub probe_wall_s: f64,
     /// MACs executed by one probe run.
     pub probe_macs: u64,
+    /// Measured sequential read bandwidth of the host's temp filesystem
+    /// in bytes/second (best of a few timed 1 MiB re-reads — warm-cache,
+    /// so an optimistic bound, which is all the warn-only I/O term
+    /// needs). Falls back to [`FALLBACK_READ_BW`] when probing fails.
+    pub read_bytes_per_s: f64,
+}
+
+/// Read-bandwidth fallback when the I/O probe cannot run (read-only or
+/// full temp dir): 2 GB/s, a mid-range NVMe figure.
+const FALLBACK_READ_BW: f64 = 2.0e9;
+
+/// Times a few 1 MiB reads of a just-written temp file; `None` when the
+/// temp dir is unusable.
+fn probe_read_bandwidth() -> Option<f64> {
+    let path = std::env::temp_dir().join(format!("awb-io-probe-{}", std::process::id()));
+    let payload = vec![0xA5u8; 1 << 20];
+    std::fs::write(&path, &payload).ok()?;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        let data = std::fs::read(&path).ok()?;
+        best = best.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(data);
+    }
+    let _ = std::fs::remove_file(&path);
+    Some((payload.len() as f64 / best.max(1e-9)).max(1.0))
 }
 
 /// Runs (once per process) and returns the host micro-probe: a small
@@ -118,6 +144,7 @@ pub fn host_calibration() -> &'static Calibration {
             secs_per_mac,
             probe_wall_s: best,
             probe_macs,
+            read_bytes_per_s: probe_read_bandwidth().unwrap_or(FALLBACK_READ_BW),
         }
     })
 }
@@ -225,6 +252,26 @@ pub struct LayerForecast {
     pub order: ExecOrder,
 }
 
+/// Host I/O forecast attached to an [`AutoDecision`] when the
+/// configuration streams `A` from an on-disk store
+/// ([`AccelConfig::store`]). **Warn-only**: the term is added to the
+/// winner's wall prediction *after* selection and is identical for every
+/// candidate (the store and pass count are properties of the input, not
+/// of the candidate knobs), so it never changes the ranking — and with no
+/// store configured it does not exist at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoForecast {
+    /// Estimated bytes streamed from the store per full pass over `A`
+    /// (raw chunk payloads: values + indices + column pointer).
+    pub bytes_per_pass: u64,
+    /// Streaming passes per warm request — one per layer's `A × (XW)`.
+    pub passes: u64,
+    /// Calibrated host read bandwidth the conversion used (bytes/s).
+    pub read_bytes_per_s: f64,
+    /// Predicted store-read seconds per warm request.
+    pub read_s: f64,
+}
+
 /// The frozen outcome of Auto selection: the winning knobs, the model's
 /// predictions for them, and the per-layer breakdown. `apply` turns it
 /// into the concrete `Manual` configuration the plan executes.
@@ -253,6 +300,10 @@ pub struct AutoDecision {
     /// candidate set after a degraded sharded prepare (DESIGN.md §10's
     /// fallback rung) — the sharded predictions above would be stale.
     pub rescored_unsharded: bool,
+    /// The warn-only host I/O forecast, when the configuration streams
+    /// `A` from a store; `None` (and nothing changes anywhere in the
+    /// scoring) for resident configurations.
+    pub io: Option<IoForecast>,
 }
 
 impl AutoDecision {
@@ -633,6 +684,7 @@ fn select_constrained(
                             layers,
                             candidates_scored: 0,
                             rescored_unsharded: false,
+                            io: None,
                         });
                     }
                 }
@@ -641,7 +693,32 @@ fn select_constrained(
     }
     let mut decision = best.expect("candidate space is never empty");
     decision.candidates_scored = candidates_scored;
+    // Warn-only I/O term: applied to the already-chosen winner, identical
+    // for any candidate it could have been, absent without a store — so
+    // the resident ranking is provably untouched.
+    decision.io = io_forecast(config, profile);
+    if let Some(io) = &decision.io {
+        decision.predicted_wall_s += io.read_s;
+    }
     decision
+}
+
+/// Estimates the streaming I/O of one warm request when `config` names a
+/// store: one pass over `A`'s chunk payloads (values + indices + column
+/// pointer, the raw sizes — compression only shrinks them) per layer,
+/// converted through the calibrated read bandwidth.
+fn io_forecast(config: &AccelConfig, profile: &CostProfile) -> Option<IoForecast> {
+    config.store.as_ref()?;
+    let bytes_per_pass = (profile.a_nnz * (size_of::<u32>() + size_of::<f32>())
+        + (profile.n + 1) * size_of::<u64>()) as u64;
+    let passes = profile.layer_dims.len().max(1) as u64;
+    let read_bytes_per_s = host_calibration().read_bytes_per_s.max(1.0);
+    Some(IoForecast {
+        bytes_per_pass,
+        passes,
+        read_bytes_per_s,
+        read_s: (bytes_per_pass * passes) as f64 / read_bytes_per_s,
+    })
 }
 
 #[cfg(test)]
@@ -663,6 +740,41 @@ mod tests {
         assert!(std::ptr::eq(c1, c2), "OnceLock must cache the probe");
         assert!(c1.secs_per_mac > 0.0 && c1.secs_per_mac.is_finite());
         assert!(c1.probe_macs > 0);
+        assert!(c1.read_bytes_per_s >= 1.0 && c1.read_bytes_per_s.is_finite());
+    }
+
+    #[test]
+    fn io_term_is_absent_without_a_store_and_ranking_neutral_with_one() {
+        let profile = profile_for(192, 7);
+        let resident = AccelConfig::builder().n_pes(32).build().unwrap();
+        let resident_decision = select(&resident, &profile);
+        assert_eq!(resident_decision.io, None);
+
+        let streamed = AccelConfig::builder()
+            .n_pes(32)
+            .store(Some("graphs/test.store".into()))
+            .build()
+            .unwrap();
+        let streamed_decision = select(&streamed, &profile);
+        // Same knobs win — the I/O term never reorders candidates…
+        assert_eq!(streamed_decision.design, resident_decision.design);
+        assert_eq!(streamed_decision.shards, resident_decision.shards);
+        assert_eq!(
+            streamed_decision.combination_shards,
+            resident_decision.combination_shards
+        );
+        assert_eq!(streamed_decision.replay, resident_decision.replay);
+        assert_eq!(
+            streamed_decision.predicted_cycles,
+            resident_decision.predicted_cycles
+        );
+        // …it only annotates the winner's wall prediction.
+        let io = streamed_decision.io.expect("store configured");
+        assert!(io.bytes_per_pass > 0);
+        assert_eq!(io.passes, profile.layer_dims().len() as u64);
+        assert!(io.read_s > 0.0 && io.read_s.is_finite());
+        let expected = resident_decision.predicted_wall_s + io.read_s;
+        assert!((streamed_decision.predicted_wall_s - expected).abs() <= 1e-12 * expected);
     }
 
     #[test]

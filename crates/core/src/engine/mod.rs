@@ -28,6 +28,13 @@
 //! through the pinned global-order kernel — and serves both phases:
 //! `A × (XW)` under `AccelConfig.shards`, each layer's `X × W` under
 //! `AccelConfig.combination_shards`. See `DESIGN.md` §7/§8.
+//!
+//! The streaming layer ([`StreamingEngine`] → [`StreamedPlan`] →
+//! [`StreamedSession`]) lifts the same shard pipeline out of core: shards
+//! are planned from a chunked on-disk store's manifest and materialized
+//! two at a time (compute on one, prefetch the next), so peak resident
+//! sparse bytes stay under a host-memory budget while outputs remain
+//! bit-identical. See `DESIGN.md` §13.
 
 pub(crate) mod arena;
 mod detailed;
@@ -35,12 +42,14 @@ mod fast;
 mod plan;
 mod sharded;
 pub(crate) mod steady;
+pub(crate) mod streaming;
 
 pub use arena::{ArenaStats, Scratch, ScratchArena};
 pub use detailed::{DetailedEngine, TdqMode};
 pub use fast::FastEngine;
 pub use plan::{SpmmSession, TunedPlan};
 pub use sharded::{PlanShard, ShardedEngine, ShardedOutcome, ShardedPlan, ShardedSession};
+pub use streaming::{StreamPlanShard, StreamStats, StreamedPlan, StreamedSession, StreamingEngine};
 
 use crate::config::AccelConfig;
 use crate::error::AccelError;

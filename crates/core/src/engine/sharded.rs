@@ -83,8 +83,9 @@ impl ShardedOutcome {
 }
 
 /// Merges per-shard SPMM statistics into the critical-path view (see the
-/// module docs for the exact semantics).
-fn merge_stats(label: &str, per_shard: &[SpmmStats]) -> SpmmStats {
+/// module docs for the exact semantics). Crate-internal: the streaming
+/// executor merges its per-shard timing through the same rules.
+pub(crate) fn merge_stats(label: &str, per_shard: &[SpmmStats]) -> SpmmStats {
     let n_pes: usize = per_shard.iter().map(|s| s.n_pes).sum();
     // Shards may report unequal round counts (e.g. per-shard tuning that
     // converged at different columns, or a degenerate empty shard): merge

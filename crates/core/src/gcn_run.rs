@@ -18,15 +18,18 @@
 //! * [`GcnRunner::run`] is the thin compatibility wrapper: one cold
 //!   inference, identical to the pre-split behaviour.
 
-use crate::config::{AccelConfig, ShardPolicy, StrategyPolicy};
+use crate::config::{AccelConfig, ShardPolicy, StrategyPolicy, DEFAULT_HOST_MEM_BUDGET};
 use crate::cost::{self, AutoDecision, CostProfile};
+use crate::engine::streaming::store_err;
 use crate::engine::{
-    ArenaStats, FastEngine, ScratchArena, ShardedEngine, ShardedPlan, SpmmEngine, TunedPlan,
+    ArenaStats, FastEngine, ScratchArena, ShardedEngine, ShardedPlan, SpmmEngine, StreamStats,
+    StreamedPlan, StreamingEngine, TunedPlan,
 };
 use crate::error::AccelError;
 use crate::pipeline::pipeline_two_stage;
 use crate::stats::{LayerStats, RunStats};
 use awb_gcn_model::{GcnInput, GcnModel};
+use awb_sparse::store::SparseStore;
 use awb_sparse::{Csc, Csr, DenseMatrix};
 use std::sync::Arc;
 
@@ -40,6 +43,10 @@ pub struct GcnRunOutcome {
     /// Densities of each layer's input feature matrix as the accelerator
     /// saw them (`x_density[0]` = X1).
     pub x_density: Vec<f64>,
+    /// Streaming statistics (resident peak, I/O bytes, prefetch overlap)
+    /// when the run streamed `A` from an on-disk store; `None` for
+    /// resident runs.
+    pub stream: Option<StreamStats>,
 }
 
 impl GcnRunOutcome {
@@ -148,6 +155,7 @@ fn run_layers(
             n_pes: config.n_pes,
         },
         x_density,
+        stream: None,
     })
 }
 
@@ -205,7 +213,23 @@ impl GcnRunner {
             return GcnRunner::new(decision.apply(&self.config)).run(input);
         }
         // One engine per sparse operand: A's engine persists across layers
-        // so its tuned row map is reused.
+        // so its tuned row map is reused. A configured store takes the
+        // out-of-core path (the builder rejects store + sharded A); it
+        // stays a concrete engine so the outcome can carry its streaming
+        // statistics.
+        if self.config.store.is_some() {
+            let mut engine_a = Self::open_streaming(&self.config, &input.a_norm_csc)?;
+            let mut outcome = run_layers(
+                &self.config,
+                &input.a_norm_csc,
+                &input.weights,
+                &input.x1,
+                &mut engine_a,
+                None,
+            )?;
+            outcome.stream = Some(engine_a.stream_stats());
+            return Ok(outcome);
+        }
         let mut engine_a: Box<dyn SpmmEngine> = if self.config.shards == ShardPolicy::Single {
             Box::new(FastEngine::new(self.config.clone()))
         } else {
@@ -230,7 +254,18 @@ impl GcnRunner {
             return None;
         }
         let profile = CostProfile::of_input(input);
-        Some(cost::select(&self.config, &profile))
+        Some(Self::auto_select(&self.config, &profile))
+    }
+
+    /// The Auto candidate space, store-aware: with a store configured the
+    /// aggregation operand streams out of core (device-sharding `A` is a
+    /// config conflict), so only the unsharded candidates are scored.
+    fn auto_select(config: &AccelConfig, profile: &CostProfile) -> AutoDecision {
+        if config.store.is_some() {
+            cost::select_unsharded(config, profile)
+        } else {
+            cost::select(config, profile)
+        }
     }
 
     /// Runs one warm-up inference (identical to [`run`](GcnRunner::run))
@@ -295,7 +330,7 @@ impl GcnRunner {
                         owned_profile.as_ref().expect("just set")
                     }
                 };
-                Some(cost::select(&self.config, profile))
+                Some(Self::auto_select(&self.config, profile))
             }
         };
         let exec_config = match &decision {
@@ -303,42 +338,49 @@ impl GcnRunner {
             None => self.config.clone(),
         };
 
-        let (a_plan, outcome, degraded, decision, plan_config) =
-            if exec_config.shards == ShardPolicy::Single {
-                let (a_plan, outcome) = Self::prepare_single(&exec_config, input)?;
-                (a_plan, outcome, None, decision, exec_config)
-            } else {
-                match Self::prepare_sharded(&exec_config, input) {
-                    Ok((a_plan, outcome)) => (a_plan, outcome, None, decision, exec_config),
-                    Err(reason) => {
-                        // Degradation ladder, rung 2 (DESIGN.md §10): a failing
-                        // sharded prepare falls back to an unsharded plan — the
-                        // tenant gets a correct (bit-identical) plan on one
-                        // device instead of an error, and the fallback is
-                        // recorded on the plan / PrepareReport. Under Auto the
-                        // decision is re-scored against the unsharded candidate
-                        // set: the sharded predictions describe a plan that can
-                        // no longer be built, so keeping them would be stale.
-                        let (single, decision) = if decision.is_some() {
-                            let rescored = match (profile, owned_profile.as_ref()) {
-                                (Some(p), _) => cost::select_unsharded(&self.config, p),
-                                (None, Some(p)) => cost::select_unsharded(&self.config, p),
-                                (None, None) => {
-                                    let p = CostProfile::of_input(input);
-                                    cost::select_unsharded(&self.config, &p)
-                                }
-                            };
-                            (rescored.apply(&self.config), Some(rescored))
-                        } else {
-                            let mut single = exec_config.clone();
-                            single.shards = ShardPolicy::Single;
-                            (single, None)
+        let (a_plan, outcome, degraded, decision, plan_config) = if exec_config.store.is_some() {
+            // Out-of-core path: no degradation rung — a store that cannot
+            // be opened (or does not hold this graph) is a typed ingest
+            // error, not a condition a resident fallback could mask (the
+            // caller asked for bounded residency; silently loading the
+            // whole matrix would violate exactly that).
+            let (a_plan, outcome) = Self::prepare_streamed(&exec_config, input)?;
+            (a_plan, outcome, None, decision, exec_config)
+        } else if exec_config.shards == ShardPolicy::Single {
+            let (a_plan, outcome) = Self::prepare_single(&exec_config, input)?;
+            (a_plan, outcome, None, decision, exec_config)
+        } else {
+            match Self::prepare_sharded(&exec_config, input) {
+                Ok((a_plan, outcome)) => (a_plan, outcome, None, decision, exec_config),
+                Err(reason) => {
+                    // Degradation ladder, rung 2 (DESIGN.md §10): a failing
+                    // sharded prepare falls back to an unsharded plan — the
+                    // tenant gets a correct (bit-identical) plan on one
+                    // device instead of an error, and the fallback is
+                    // recorded on the plan / PrepareReport. Under Auto the
+                    // decision is re-scored against the unsharded candidate
+                    // set: the sharded predictions describe a plan that can
+                    // no longer be built, so keeping them would be stale.
+                    let (single, decision) = if decision.is_some() {
+                        let rescored = match (profile, owned_profile.as_ref()) {
+                            (Some(p), _) => cost::select_unsharded(&self.config, p),
+                            (None, Some(p)) => cost::select_unsharded(&self.config, p),
+                            (None, None) => {
+                                let p = CostProfile::of_input(input);
+                                cost::select_unsharded(&self.config, &p)
+                            }
                         };
-                        let (a_plan, outcome) = Self::prepare_single(&single, input)?;
-                        (a_plan, outcome, Some(reason.to_string()), decision, single)
-                    }
+                        (rescored.apply(&self.config), Some(rescored))
+                    } else {
+                        let mut single = exec_config.clone();
+                        single.shards = ShardPolicy::Single;
+                        (single, None)
+                    };
+                    let (a_plan, outcome) = Self::prepare_single(&single, input)?;
+                    (a_plan, outcome, Some(reason.to_string()), decision, single)
                 }
-            };
+            }
+        };
         // One unified pool for the whole plan: the frozen A-side plan's
         // arena (already warm from the prepare run) also serves the
         // per-layer X engines — a second pool would double retention and
@@ -346,6 +388,7 @@ impl GcnRunner {
         let xw_arena = match &a_plan {
             APlan::Single(plan) => Arc::clone(plan.arena()),
             APlan::Sharded(plan) => Arc::clone(plan.merge_arena()),
+            APlan::Streamed(plan) => Arc::clone(plan.arena()),
         };
         Ok((
             GcnPlan {
@@ -388,6 +431,45 @@ impl GcnRunner {
             APlan::Single(engine_a.freeze_plan(&input.a_norm_csc)?),
             outcome,
         ))
+    }
+
+    /// Opens (ingesting on first use) the configured store and builds the
+    /// streaming engine for `A`. When the store directory has no manifest
+    /// yet, the normalized adjacency is written to it first — chunk
+    /// target derived from the host budget so even small graphs split
+    /// finely enough for the budget to bind; an existing store is opened
+    /// as-is (full ingest validation) and must hold exactly this graph.
+    fn open_streaming(config: &AccelConfig, a: &Csc) -> Result<StreamingEngine, AccelError> {
+        let dir = config.store.as_ref().expect("caller checked config.store");
+        let budget = config.host_mem_budget.unwrap_or(DEFAULT_HOST_MEM_BUDGET);
+        let store = if SparseStore::exists(dir) {
+            SparseStore::open(dir).map_err(store_err)?
+        } else {
+            // Aim for ≥ 4 chunks per half-budget shard window: a chunk's
+            // resident bytes (~8 B/nnz) stay under 1/8 of the budget, so
+            // chunk_nnz ≤ budget / 64, capped at the format default.
+            let chunk_nnz = (budget / 64).clamp(1, awb_sparse::store::DEFAULT_CHUNK_NNZ);
+            SparseStore::write_with_chunk_nnz(dir, a, chunk_nnz).map_err(store_err)?
+        };
+        StreamingEngine::new(config.clone(), Arc::new(store), budget)
+    }
+
+    /// The out-of-core prepare path: warm up through the streaming engine
+    /// and freeze one tuned plan per stream shard.
+    fn prepare_streamed(
+        config: &AccelConfig,
+        input: &GcnInput,
+    ) -> Result<(APlan, GcnRunOutcome), AccelError> {
+        let mut engine_a = Self::open_streaming(config, &input.a_norm_csc)?;
+        let outcome = run_layers(
+            config,
+            &input.a_norm_csc,
+            &input.weights,
+            &input.x1,
+            &mut engine_a,
+            None,
+        )?;
+        Ok((APlan::Streamed(engine_a.freeze_plan()?), outcome))
     }
 
     /// The sharded prepare path, isolated behind `catch_unwind` so a
@@ -436,6 +518,7 @@ impl GcnRunner {
 enum APlan {
     Single(TunedPlan),
     Sharded(ShardedPlan),
+    Streamed(StreamedPlan),
 }
 
 impl APlan {
@@ -445,6 +528,7 @@ impl APlan {
         match self {
             APlan::Single(plan) => plan.tuning_rounds(),
             APlan::Sharded(plan) => plan.tuning_rounds(),
+            APlan::Streamed(plan) => plan.tuning_rounds(),
         }
     }
 
@@ -452,6 +536,7 @@ impl APlan {
         match self {
             APlan::Single(plan) => plan.total_switches(),
             APlan::Sharded(plan) => plan.total_switches(),
+            APlan::Streamed(plan) => plan.total_switches(),
         }
     }
 
@@ -459,6 +544,7 @@ impl APlan {
         match self {
             APlan::Single(plan) => plan.replay_hits(),
             APlan::Sharded(plan) => plan.replay_hits(),
+            APlan::Streamed(plan) => plan.replay_hits(),
         }
     }
 
@@ -466,6 +552,7 @@ impl APlan {
         match self {
             APlan::Single(plan) => plan.replay_misses(),
             APlan::Sharded(plan) => plan.replay_misses(),
+            APlan::Streamed(plan) => plan.replay_misses(),
         }
     }
 
@@ -473,6 +560,7 @@ impl APlan {
         match self {
             APlan::Single(plan) => plan.memory_bytes(),
             APlan::Sharded(plan) => plan.memory_bytes(),
+            APlan::Streamed(plan) => plan.memory_bytes(),
         }
     }
 
@@ -480,6 +568,7 @@ impl APlan {
         match self {
             APlan::Single(plan) => plan.scratch_stats(),
             APlan::Sharded(plan) => plan.scratch_stats(),
+            APlan::Streamed(plan) => plan.scratch_stats(),
         }
     }
 }
@@ -554,7 +643,7 @@ impl GcnPlan {
     pub fn plan_a(&self) -> Option<&TunedPlan> {
         match &self.a_plan {
             APlan::Single(plan) => Some(plan),
-            APlan::Sharded(_) => None,
+            _ => None,
         }
     }
 
@@ -562,8 +651,27 @@ impl GcnPlan {
     /// under a sharded policy.
     pub fn sharded_plan(&self) -> Option<&ShardedPlan> {
         match &self.a_plan {
-            APlan::Single(_) => None,
             APlan::Sharded(plan) => Some(plan),
+            _ => None,
+        }
+    }
+
+    /// The frozen out-of-core plan for `A`, when the plan was prepared
+    /// against a configured store.
+    pub fn streamed_plan(&self) -> Option<&StreamedPlan> {
+        match &self.a_plan {
+            APlan::Streamed(plan) => Some(plan),
+            _ => None,
+        }
+    }
+
+    /// The most recent request's streaming statistics (resident peak,
+    /// I/O bytes, prefetch overlap), when this plan streams `A` from a
+    /// store. `None` for resident plans.
+    pub fn stream_stats(&self) -> Option<StreamStats> {
+        match &self.a_plan {
+            APlan::Streamed(plan) => Some(plan.stream_stats()),
+            _ => None,
         }
     }
 
@@ -580,6 +688,7 @@ impl GcnPlan {
         match &self.a_plan {
             APlan::Single(_) => 1,
             APlan::Sharded(plan) => plan.shard_count(),
+            APlan::Streamed(plan) => plan.shard_count(),
         }
     }
 
@@ -641,6 +750,7 @@ impl GcnPlan {
         let graph_matches = match &self.a_plan {
             APlan::Single(plan) => plan.matches(&input.a_norm_csc),
             APlan::Sharded(plan) => plan.matches(&input.a_norm_csc),
+            APlan::Streamed(plan) => plan.matches(&input.a_norm_csc),
         };
         graph_matches && self.weights == input.weights
     }
@@ -663,15 +773,21 @@ impl GcnPlan {
         let mut session: Box<dyn SpmmEngine + '_> = match &self.a_plan {
             APlan::Single(plan) => Box::new(plan.session_trusted()),
             APlan::Sharded(plan) => Box::new(plan.session_trusted()),
+            // Streamed sessions re-verify against the store's checksummed
+            // column pointer instead of a fingerprint re-hash.
+            APlan::Streamed(plan) => Box::new(plan.session()),
         };
-        run_layers(
+        let mut outcome = run_layers(
             &self.config,
             &self.a_norm_csc,
             &self.weights,
             x1,
             session.as_mut(),
             Some(&self.xw_arena),
-        )
+        )?;
+        drop(session);
+        outcome.stream = self.stream_stats();
+        Ok(outcome)
     }
 
     /// [`run`](GcnPlan::run) for a full [`GcnInput`], first validating it
@@ -964,6 +1080,68 @@ mod tests {
         }
         let util = outcome.stats.avg_utilization();
         assert!(util > 0.0 && util <= 1.0);
+    }
+
+    #[test]
+    fn streamed_runs_are_bit_identical_to_resident() {
+        let input = small_input(192, 21);
+        let base = Design::LocalPlusRemote { hop: 1 }.apply(config(16));
+        let reference = GcnRunner::new(base.clone()).run(&input).unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "awb-gcnrun-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = base;
+        cfg.store = Some(dir.clone());
+        // A budget half the adjacency forces a genuinely out-of-core run.
+        cfg.host_mem_budget = Some(input.a_norm_csc.heap_bytes() / 2);
+        let runner = GcnRunner::new(cfg);
+        // Cold run ingests the store on first use, then streams from it.
+        let cold = runner.run(&input).unwrap();
+        assert_eq!(cold.output, reference.output);
+        assert_eq!(cold.x_density, reference.x_density);
+        // Prepared plans stream too, bit-identically and tune-free.
+        let (plan, warmup) = runner.prepare(&input).unwrap();
+        assert_eq!(warmup.output, reference.output);
+        assert!(plan.streamed_plan().is_some());
+        assert!(plan.plan_a().is_none());
+        assert!(plan.shard_count() > 1, "budget must force stream shards");
+        let served = plan.run_input(&input).unwrap();
+        assert_eq!(served.output, reference.output);
+        for layer in &served.stats.layers {
+            assert_eq!(layer.a_xw.tuning_rounds(), 0);
+        }
+        let stream = plan.stream_stats().expect("streamed plan reports stats");
+        assert!(stream.shards > 1);
+        assert!(stream.io_bytes > 0);
+        assert!(
+            stream.resident_peak_bytes < input.a_norm_csc.heap_bytes(),
+            "peak {} should undercut the resident adjacency {}",
+            stream.resident_peak_bytes,
+            input.a_norm_csc.heap_bytes()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streamed_prepare_rejects_store_holding_a_different_graph() {
+        let input = small_input(128, 22);
+        let other = small_input(128, 23);
+        let dir = std::env::temp_dir().join(format!(
+            "awb-gcnrun-foreign-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Ingest `other`'s adjacency, then point `input`'s run at it.
+        awb_sparse::store::SparseStore::write(&dir, &other.a_norm_csc).unwrap();
+        let mut cfg = config(16);
+        cfg.store = Some(dir.clone());
+        let err = GcnRunner::new(cfg).run(&input).unwrap_err();
+        assert!(matches!(err, AccelError::InvalidConfig(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

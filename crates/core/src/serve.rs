@@ -111,6 +111,11 @@ pub struct PrepareReport {
     /// [`StrategyPolicy::Auto`](crate::StrategyPolicy::Auto); `None` under
     /// `Manual`.
     pub auto: Option<AutoReport>,
+    /// Streaming statistics of the warm-up pass — stream shard count,
+    /// peak resident sparse bytes, I/O traffic, and prefetch/compute
+    /// overlap — when the plan streams `A` from a configured on-disk
+    /// store ([`AccelConfig::store`]); `None` for fully-resident plans.
+    pub stream: Option<crate::StreamStats>,
 }
 
 /// The Auto-strategy scorecard attached to a [`PrepareReport`]: which
@@ -136,6 +141,10 @@ pub struct AutoReport {
     /// True when the decision was re-scored against the unsharded
     /// candidate set after a degraded sharded prepare.
     pub rescored_unsharded: bool,
+    /// Predicted store-read seconds per warm request, from the cost
+    /// model's warn-only [`IoForecast`](crate::IoForecast); `None` for
+    /// resident configurations.
+    pub io_read_s: Option<f64>,
 }
 
 /// One served request's result.
@@ -691,6 +700,7 @@ impl GcnService {
             measured_wall_s: wall_s,
             candidates_scored: d.candidates_scored,
             rescored_unsharded: d.rescored_unsharded,
+            io_read_s: d.io.as_ref().map(|io| io.read_s),
         });
         let report = PrepareReport {
             graph: name.clone(),
@@ -702,6 +712,7 @@ impl GcnService {
             degraded: plan.degraded().map(String::from),
             policy: self.config.strategy.label(),
             auto,
+            stream: plan.stream_stats(),
             warmup,
         };
         self.graphs.insert(name, plan);

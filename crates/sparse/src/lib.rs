@@ -17,6 +17,9 @@
 //! * [`partition`] — nnz-balanced column sharding (plus zero-rebuild
 //!   `col_range`/`row_range` slicing on the formats) for graphs bigger
 //!   than one device.
+//! * [`store`] — chunked on-disk store (`by_column`/`by_row` mirrors with
+//!   a JSON manifest) so graphs bigger than host memory stream in bounded
+//!   column windows.
 //!
 //! # Example
 //!
@@ -51,6 +54,7 @@ pub mod ops_count;
 pub mod partition;
 pub mod profile;
 pub mod spmm;
+pub mod store;
 
 pub use coo::Coo;
 pub use csc::Csc;

@@ -38,6 +38,7 @@
 //! # }
 //! ```
 
+use crate::store::ChunkProfile;
 use crate::Csc;
 use std::ops::Range;
 
@@ -77,6 +78,20 @@ enum Target {
     /// column heavier than the budget still gets its own shard — columns
     /// are the indivisible unit).
     MaxNnz(usize),
+    /// As few shards as possible with each shard's *resident heap bytes*
+    /// (per [`Csc::heap_bytes`]: 8 bytes per nnz plus one pointer-sized
+    /// `Col Ptr` entry per column) at most this budget — the host-memory
+    /// policy for out-of-core streaming, where the bound that matters is
+    /// bytes in RAM, not non-zeros on chip.
+    MaxBytes(usize),
+}
+
+/// Resident heap bytes of a CSC slice with this shape, matching
+/// [`Csc::heap_bytes`] exactly (u32 index + f32 value per nnz, usize
+/// `Col Ptr` entry per column plus one).
+fn slice_bytes(n_cols: usize, nnz: usize) -> usize {
+    nnz * (std::mem::size_of::<u32>() + std::mem::size_of::<f32>())
+        + (n_cols + 1) * std::mem::size_of::<usize>()
 }
 
 /// Splits a CSC matrix into contiguous, nnz-balanced column shards.
@@ -119,6 +134,23 @@ impl ColumnPartitioner {
         }
     }
 
+    /// Partition into as few shards as possible whose resident heap bytes
+    /// (per [`Csc::heap_bytes`]) each stay at most `budget` — the
+    /// host-memory policy backing out-of-core streaming. As with
+    /// [`by_max_nnz`](ColumnPartitioner::by_max_nnz), a single column (or
+    /// store chunk) heavier than the budget still becomes its own
+    /// over-budget shard: the planning unit is indivisible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    pub fn by_resident_bytes(budget: usize) -> Self {
+        assert!(budget > 0, "byte budget must be >= 1");
+        ColumnPartitioner {
+            target: Target::MaxBytes(budget),
+        }
+    }
+
     /// True when partitioning `a` would yield at most one shard — the
     /// degenerate case callers dispatch to an unsharded path without
     /// paying the O(cols) partition/profile scan (the combination phase
@@ -131,6 +163,7 @@ impl ColumnPartitioner {
             // matrix fits the budget (a single column is taken even when
             // it alone exceeds it).
             Target::MaxNnz(budget) => a.cols() <= 1 || a.nnz() <= budget,
+            Target::MaxBytes(budget) => a.cols() <= 1 || slice_bytes(a.cols(), a.nnz()) <= budget,
         }
     }
 
@@ -140,12 +173,116 @@ impl ColumnPartitioner {
         let bounds = match self.target {
             Target::Shards(n) => split_by_shards(a, n),
             Target::MaxNnz(budget) => split_by_max_nnz(a, budget),
+            Target::MaxBytes(budget) => split_by_max_bytes(a, budget),
         };
         bounds
             .windows(2)
             .map(|w| profile_shard(a, w[0]..w[1]))
             .collect()
     }
+
+    /// Store-backed planning: derives shard boundaries from a store
+    /// manifest's per-chunk profiles alone — no `data/` read, O(chunks)
+    /// work — so out-of-core runs can plan cuts for a matrix that never
+    /// fits in memory. Chunks are the indivisible unit here (they are
+    /// line-aligned on disk, so a shard covering whole chunks materializes
+    /// without partial-chunk seeks); within that granularity the same
+    /// policies apply: [`by_shards`](ColumnPartitioner::by_shards) greedily
+    /// balances nnz, [`by_max_nnz`](ColumnPartitioner::by_max_nnz) /
+    /// [`by_resident_bytes`](ColumnPartitioner::by_resident_bytes) fill to
+    /// a budget. The returned shards tile `0..cols` contiguously with no
+    /// empty shard (no chunks → no shards), exactly like
+    /// [`partition`](ColumnPartitioner::partition).
+    pub fn partition_chunks(&self, rows: usize, chunks: &[ChunkProfile]) -> Vec<ColumnShard> {
+        if chunks.is_empty() {
+            return Vec::new();
+        }
+        let groups = match self.target {
+            Target::Shards(n) => group_chunks_by_shards(chunks, n),
+            Target::MaxNnz(budget) => group_chunks_greedy(chunks, |_, nnz, more| {
+                // Take the next chunk while the merged nnz stays in budget.
+                nnz + more.nnz <= budget
+            }),
+            Target::MaxBytes(budget) => group_chunks_greedy(chunks, |span, nnz, more| {
+                slice_bytes(more.lines.end - span.start, nnz + more.nnz) <= budget
+            }),
+        };
+        groups
+            .into_iter()
+            .map(|g| profile_chunk_group(rows, &chunks[g]))
+            .collect()
+    }
+}
+
+/// Profiles a contiguous group of store chunks as one [`ColumnShard`].
+fn profile_chunk_group(rows: usize, group: &[ChunkProfile]) -> ColumnShard {
+    let cols = group[0].lines.start..group[group.len() - 1].lines.end;
+    let nnz = group.iter().map(|c| c.nnz).sum();
+    // The manifest records each chunk's heaviest line, so the group's
+    // max is exact (the maximum is over a partition of the columns).
+    let max_col_nnz = group.iter().map(|c| c.max_line_nnz).max().unwrap_or(0);
+    let cells = rows * cols.len();
+    ColumnShard {
+        density: if cells == 0 {
+            0.0
+        } else {
+            nnz as f64 / cells as f64
+        },
+        cols,
+        nnz,
+        max_col_nnz,
+    }
+}
+
+/// Greedy budget fill over chunks: extend the group while `fits` accepts
+/// the next chunk, always taking at least one.
+fn group_chunks_greedy(
+    chunks: &[ChunkProfile],
+    fits: impl Fn(&Range<usize>, usize, &ChunkProfile) -> bool,
+) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut lo = 0usize;
+    while lo < chunks.len() {
+        let mut span = chunks[lo].lines.clone();
+        let mut nnz = chunks[lo].nnz;
+        let mut hi = lo + 1;
+        while hi < chunks.len() && fits(&span, nnz, &chunks[hi]) {
+            span.end = chunks[hi].lines.end;
+            nnz += chunks[hi].nnz;
+            hi += 1;
+        }
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
+/// Greedy prefix-target split of chunks into `k` nnz-balanced groups
+/// (clamped to the chunk count), mirroring [`split_by_shards`] at chunk
+/// granularity with the same leave-one-per-remaining-shard cap.
+fn group_chunks_by_shards(chunks: &[ChunkProfile], k: usize) -> Vec<Range<usize>> {
+    let n = chunks.len();
+    let k = k.max(1).min(n);
+    let total: u128 = chunks.iter().map(|c| c.nnz as u128).sum();
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0usize);
+    for c in chunks {
+        prefix.push(prefix.last().expect("non-empty") + c.nnz);
+    }
+    let mut out = Vec::with_capacity(k);
+    let mut lo = 0usize;
+    for i in 0..k - 1 {
+        let target = (total * (i as u128 + 1) / k as u128) as usize;
+        let max_hi = n - (k - 1 - i);
+        let mut hi = lo + 1 + prefix[lo + 1..max_hi].partition_point(|&p| p < target);
+        if hi > lo + 1 && prefix[hi].abs_diff(target) > prefix[hi - 1].abs_diff(target) {
+            hi -= 1;
+        }
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out.push(lo..n);
+    out
 }
 
 fn profile_shard(a: &Csc, cols: Range<usize>) -> ColumnShard {
@@ -214,6 +351,27 @@ fn split_by_max_nnz(a: &Csc, budget: usize) -> Vec<usize> {
     while lo < cols {
         let mut hi = lo + 1;
         while hi < cols && ptr[hi + 1] - ptr[lo] <= budget {
+            hi += 1;
+        }
+        bounds.push(hi);
+        lo = hi;
+    }
+    bounds
+}
+
+/// Greedy resident-byte fill, same structure as [`split_by_max_nnz`] but
+/// bounding [`Csc::heap_bytes`] of each shard's slice.
+fn split_by_max_bytes(a: &Csc, budget: usize) -> Vec<usize> {
+    let cols = a.cols();
+    if cols == 0 {
+        return Vec::new();
+    }
+    let ptr = a.col_ptr();
+    let mut bounds = vec![0usize];
+    let mut lo = 0usize;
+    while lo < cols {
+        let mut hi = lo + 1;
+        while hi < cols && slice_bytes(hi + 1 - lo, ptr[hi + 1] - ptr[lo]) <= budget {
             hi += 1;
         }
         bounds.push(hi);
@@ -372,6 +530,110 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn by_resident_bytes_respects_budget() {
+        let a = clustered(20);
+        // Whole matrix: 56 nnz * 8 + 21 * 8 = 616 bytes resident.
+        assert_eq!(a.heap_bytes(), 616);
+        let shards = ColumnPartitioner::by_resident_bytes(200).partition(&a);
+        assert_tiles(&shards, 20, a.nnz());
+        assert!(shards.len() > 1);
+        for s in &shards {
+            let bytes = s.slice(&a).heap_bytes();
+            // Heaviest column is 10 nnz = 96 bytes < 200, so every shard
+            // obeys the budget.
+            assert!(bytes <= 200, "shard {s:?} resident {bytes} bytes");
+        }
+        // A budget below a single heavy column still yields 1-column
+        // (over-budget) shards rather than stalling.
+        let tight = ColumnPartitioner::by_resident_bytes(16).partition(&a);
+        assert_tiles(&tight, 20, a.nnz());
+        for s in &tight {
+            assert_eq!(s.n_cols(), 1);
+        }
+        // is_single agrees on both sides of the whole-matrix size.
+        assert!(ColumnPartitioner::by_resident_bytes(616).is_single(&a));
+        assert!(!ColumnPartitioner::by_resident_bytes(615).is_single(&a));
+    }
+
+    /// Store-chunk profiles of `a` at the given nnz-per-chunk target,
+    /// built directly from `Col Ptr` (no disk involved).
+    fn chunk_profiles(a: &Csc, target: usize) -> Vec<ChunkProfile> {
+        let ptr = a.col_ptr();
+        let mut out = Vec::new();
+        let mut lo = 0usize;
+        while lo < a.cols() {
+            let mut hi = lo + 1;
+            while hi < a.cols() && ptr[hi] - ptr[lo] < target {
+                hi += 1;
+            }
+            out.push(ChunkProfile {
+                lines: lo..hi,
+                nnz: ptr[hi] - ptr[lo],
+                max_line_nnz: (lo..hi).map(|c| ptr[c + 1] - ptr[c]).max().unwrap(),
+                disk_bytes: 1,
+            });
+            lo = hi;
+        }
+        out
+    }
+
+    #[test]
+    fn partition_chunks_tiles_and_matches_column_granularity_limits() {
+        let a = clustered(24);
+        let chunks = chunk_profiles(&a, 4);
+        for p in [
+            ColumnPartitioner::by_shards(3),
+            ColumnPartitioner::by_shards(64),
+            ColumnPartitioner::by_max_nnz(12),
+            ColumnPartitioner::by_resident_bytes(200),
+        ] {
+            let shards = p.partition_chunks(a.rows(), &chunks);
+            assert_tiles(&shards, 24, a.nnz());
+            // Shard profiles must agree with re-profiling the same column
+            // ranges against the resident matrix.
+            for s in &shards {
+                let direct = profile_shard(&a, s.cols.clone());
+                assert_eq!(s, &direct, "{p:?}");
+            }
+        }
+        // Budget policies respect their budget whenever a single chunk
+        // does (chunks here hold <= 13 nnz; heaviest single chunk rules).
+        let max_chunk_nnz = chunks.iter().map(|c| c.nnz).max().unwrap();
+        let budget = max_chunk_nnz.max(12);
+        for s in ColumnPartitioner::by_max_nnz(budget).partition_chunks(a.rows(), &chunks) {
+            assert!(s.nnz <= budget, "{s:?}");
+        }
+        // No chunks → no shards.
+        assert!(ColumnPartitioner::by_shards(4)
+            .partition_chunks(a.rows(), &[])
+            .is_empty());
+    }
+
+    #[test]
+    fn partition_chunks_by_shards_balances_nnz() {
+        let a = clustered(40);
+        let chunks = chunk_profiles(&a, 2);
+        let shards = ColumnPartitioner::by_shards(4).partition_chunks(a.rows(), &chunks);
+        assert_eq!(shards.len(), 4);
+        assert_tiles(&shards, 40, a.nnz());
+        let target = a.nnz() / 4;
+        let max_chunk = chunks.iter().map(|c| c.nnz).max().unwrap();
+        for s in &shards {
+            // Greedy chunk-granular balance: within one chunk of ideal.
+            assert!(
+                s.nnz.abs_diff(target) <= max_chunk,
+                "shard {s:?} vs target {target} (chunk quantum {max_chunk})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "byte budget")]
+    fn zero_byte_budget_rejected() {
+        ColumnPartitioner::by_resident_bytes(0);
     }
 
     #[test]

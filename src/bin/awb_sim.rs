@@ -4,10 +4,12 @@
 //! awb-sim profile <dataset> [--scale F] [--seed N]
 //! awb-sim run     <dataset> [--design D | --auto] [--pes N] [--scale F] [--seed N]
 //!                 [--csv] [--shards S] [--xw-shards S] [--mem-budget MB]
+//!                 [--store DIR] [--host-mem-budget MB]
 //! awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
 //! awb-sim sweep   <dataset> [--pes N] [--scale F] [--seed N] [--auto]
 //! awb-sim serve   <dataset> [--requests N] [--batch B] [--design D | --auto]
 //!                 [--pes N] [--shards S] [--xw-shards S] [--mem-budget MB]
+//!                 [--store DIR] [--host-mem-budget MB]
 //!                 [--faults SEED] [--compare-cold]
 //! awb-sim serve   <dataset> --trace [--queue-depth D] [--cache-plans MB]
 //!                 [--deadline-ms MS] [--retries N] [--faults SEED]
@@ -38,6 +40,17 @@
 //! model's prediction); with `--auto` it additionally reports the model's
 //! pick against the post-hoc best point.
 //!
+//! Out-of-core streaming (DESIGN.md §13): `--store DIR` keeps the
+//! normalized adjacency in a chunked on-disk sparse store (written on first
+//! use, revalidated and reused afterwards) and streams it shard by shard —
+//! compute on one shard overlapped with prefetch of the next — instead of
+//! holding the whole matrix resident. `--host-mem-budget MB` bounds the
+//! streaming pipeline's peak resident sparse bytes (default 256 MB) and
+//! requires `--store`. Streaming replaces device-sharding of `A`, so
+//! `--store` is mutually exclusive with `--shards`/`--mem-budget`
+//! (`--xw-shards` still applies). Outputs stay bit-identical to the
+//! resident run.
+//!
 //! Fault tolerance (DESIGN.md §10): `--faults SEED` arms the deterministic
 //! fault-injection plan (seeded panics / NaN payloads / delays); faulted
 //! requests surface as typed `FAULTED` lines while the rest of the batch
@@ -63,11 +76,13 @@ const USAGE: &str = "usage:
   awb-sim profile <dataset> [--scale F] [--seed N]
   awb-sim run     <dataset> [--design D | --auto] [--pes N] [--scale F] [--seed N]
                   [--csv] [--shards S] [--xw-shards S] [--mem-budget MB]
+                  [--store DIR] [--host-mem-budget MB]
   awb-sim compare <dataset> [--pes N] [--scale F] [--seed N]
   awb-sim sweep   <dataset> [--pes N] [--scale F] [--seed N] [--auto]
   awb-sim serve   <dataset> [--requests N] [--batch B] [--design D | --auto]
                   [--pes N] [--scale F] [--seed N] [--shards S] [--xw-shards S]
-                  [--mem-budget MB] [--faults SEED] [--compare-cold]
+                  [--mem-budget MB] [--store DIR] [--host-mem-budget MB]
+                  [--faults SEED] [--compare-cold]
   awb-sim serve   <dataset> --trace [--queue-depth D] [--cache-plans MB]
                   [--deadline-ms MS] [--retries N] [--faults SEED]
                   [--compare-cold]
@@ -86,6 +101,12 @@ const USAGE: &str = "usage:
               the combination phase X*W          (default unsharded)
   --mem-budget: on-chip budget in MB per shard device; derives BOTH shard
                 counts (mutually exclusive with --shards/--xw-shards)
+  --store:    directory of the chunked on-disk sparse store for A (written
+              on first use, revalidated on reuse); streams the aggregation
+              operand out of core instead of device-sharding it, so it is
+              mutually exclusive with --shards/--mem-budget
+  --host-mem-budget: peak resident sparse bytes of the streaming pipeline
+              in MB (>= 1; default 256); requires --store
   --auto:     let the calibrated cost model pick the design point, shard
               counts, and replay at prepare time; rejects --design,
               --shards and --xw-shards (--mem-budget still applies: it
@@ -161,6 +182,8 @@ struct Options {
     shards: Option<usize>,
     xw_shards: Option<usize>,
     mem_budget_mb: Option<usize>,
+    store: Option<std::path::PathBuf>,
+    host_mem_budget_mb: Option<usize>,
     requests: usize,
     batch: Option<usize>,
     compare_cold: bool,
@@ -188,6 +211,8 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     let mut shards = None;
     let mut xw_shards = None;
     let mut mem_budget_mb = None;
+    let mut store: Option<std::path::PathBuf> = None;
+    let mut host_mem_budget_mb = None;
     let mut requests: Option<usize> = None;
     let mut batch = None;
     let mut compare_cold = false;
@@ -214,6 +239,10 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
             "--shards" => shards = Some(next_value(&mut it, "--shards")?.parse()?),
             "--xw-shards" => xw_shards = Some(next_value(&mut it, "--xw-shards")?.parse()?),
             "--mem-budget" => mem_budget_mb = Some(next_value(&mut it, "--mem-budget")?.parse()?),
+            "--store" => store = Some(next_value(&mut it, "--store")?.into()),
+            "--host-mem-budget" => {
+                host_mem_budget_mb = Some(next_value(&mut it, "--host-mem-budget")?.parse()?)
+            }
             "--requests" => requests = Some(next_value(&mut it, "--requests")?.parse()?),
             "--batch" => batch = Some(next_value(&mut it, "--batch")?.parse()?),
             "--compare-cold" => compare_cold = true,
@@ -281,6 +310,27 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
     if (shards.is_some() || xw_shards.is_some()) && mem_budget_mb.is_some() {
         return Err("--shards/--xw-shards and --mem-budget are mutually exclusive".into());
     }
+    if host_mem_budget_mb == Some(0) {
+        return Err("--host-mem-budget must be >= 1 MB".into());
+    }
+    if host_mem_budget_mb.is_some() && store.is_none() {
+        return Err("--host-mem-budget bounds the streaming pipeline and requires --store".into());
+    }
+    if store.is_some() && (shards.is_some() || mem_budget_mb.is_some()) {
+        // Streaming replaces device-sharding of A outright; a store plus a
+        // shard policy for the same operand is a contradiction, rejected
+        // here with the same typed-conflict shape the other flag pairs get.
+        return Err(
+            "--store streams A out of core and is mutually exclusive with \
+             --shards/--mem-budget (--xw-shards still applies)"
+                .into(),
+        );
+    }
+    if store.is_some() && trace {
+        return Err(
+            "--trace serves many tenant graphs; a single-graph --store does not apply".into(),
+        );
+    }
     if auto && (design_set || shards.is_some() || xw_shards.is_some()) {
         // Same typed rejection the service gives malformed ingest: the
         // cost model owns these knobs under --auto.
@@ -303,6 +353,8 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
         shards,
         xw_shards,
         mem_budget_mb,
+        store,
+        host_mem_budget_mb,
         requests: requests.unwrap_or(8),
         batch,
         compare_cold,
@@ -314,6 +366,16 @@ fn parse_options(args: &[String]) -> Result<Options, Box<dyn Error>> {
         faults,
         extra_positional,
     })
+}
+
+/// Adaptive byte formatting for the streaming report lines (small test
+/// graphs read KBs, paper-scale stores read MBs).
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 10 << 20 {
+        format!("{:.1} MB", bytes as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{:.1} KB", bytes as f64 / 1024.0)
+    }
 }
 
 fn next_value<'a>(
@@ -368,6 +430,9 @@ fn config_for(opts: &Options) -> Result<AccelConfig, Box<dyn Error>> {
         .unwrap_or_else(|| ((1024.0 * opts.scale).round() as usize).max(32));
     let mut builder = AccelConfig::builder();
     builder.n_pes(pes).threads(opts.threads).replay(opts.replay);
+    builder
+        .store(opts.store.clone())
+        .host_mem_budget(opts.host_mem_budget_mb.map(|mb| mb << 20));
     if let Some(shards) = opts.shards {
         builder.shards(ShardPolicy::Fixed(shards));
     }
@@ -443,6 +508,25 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
                 decision.predicted_cycles,
                 decision.candidates_scored,
             );
+            if let Some(io) = &decision.io {
+                let compute_s = (decision.predicted_wall_s - io.read_s).max(0.0);
+                println!(
+                    "            store I/O forecast (warn-only): {:.1} MB/pass x {} passes \
+                     at {:.0} MB/s = {:.3}s read",
+                    io.bytes_per_pass as f64 / 1e6,
+                    io.passes,
+                    io.read_bytes_per_s / 1e6,
+                    io.read_s,
+                );
+                if io.read_s > compute_s {
+                    println!(
+                        "            warning: predicted store reads ({:.3}s) dominate predicted \
+                         compute ({:.3}s) — the run is I/O-bound; consider a larger \
+                         --host-mem-budget or faster storage",
+                        io.read_s, compute_s,
+                    );
+                }
+            }
         }
         config = decision.apply(&config);
         design_label = decision.design.label();
@@ -495,6 +579,20 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
                 nnz,
             );
         }
+    }
+    if let Some(stream) = &outcome.stream {
+        println!(
+            "streaming : {} shard(s) from {}, resident peak {}, {} read, \
+             prefetch overlap {:.0}%",
+            stream.shards,
+            config
+                .store
+                .as_deref()
+                .map_or_else(|| "store".to_string(), |d| d.display().to_string()),
+            fmt_bytes(stream.resident_peak_bytes as u64),
+            fmt_bytes(stream.io_bytes),
+            stream.overlap_fraction() * 100.0,
+        );
     }
     for spmm in outcome.stats.spmms() {
         println!(
@@ -650,6 +748,26 @@ fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
             } else {
                 ""
             },
+        );
+        if let Some(read_s) = auto.io_read_s {
+            println!(
+                "auto      : store I/O forecast (warn-only): {read_s:.3}s predicted read per \
+                 request",
+            );
+        }
+    }
+    if let Some(stream) = &report.stream {
+        println!(
+            "streaming : {} shard(s) from {}, warm-up resident peak {}, {} read, \
+             prefetch overlap {:.0}%",
+            stream.shards,
+            config
+                .store
+                .as_deref()
+                .map_or_else(|| "store".to_string(), |d| d.display().to_string()),
+            fmt_bytes(stream.resident_peak_bytes as u64),
+            fmt_bytes(stream.io_bytes),
+            stream.overlap_fraction() * 100.0,
         );
     }
 

@@ -658,3 +658,106 @@ fn serve_trace_fault_tolerant_end_to_end() {
         "fault-tolerant trace cold comparison failed:\n{text}"
     );
 }
+
+/// Out-of-core streaming flags (DESIGN.md §13): `run --store` writes the
+/// chunked store on first use, streams the aggregation operand, and
+/// reports residency + overlap; `serve` reuses the same store and serves
+/// outputs bit-identical to resident cold runs.
+#[test]
+fn run_and_serve_stream_from_store() {
+    let dir = std::env::temp_dir().join(format!("awb-cli-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = dir.join("cora.store");
+    let store_arg = store.to_string_lossy().into_owned();
+
+    let out = awb_sim(&[
+        "run",
+        "cora",
+        "--scale",
+        "0.25",
+        "--pes",
+        "32",
+        "--store",
+        &store_arg,
+        "--host-mem-budget",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("streaming :"),
+        "missing stream report:\n{text}"
+    );
+    assert!(text.contains("resident peak"), "{text}");
+    assert!(text.contains("prefetch overlap"), "{text}");
+    assert!(store.join("manifest.json").is_file(), "store not written");
+
+    // Second invocation reuses (revalidates) the store and still matches
+    // resident cold runs bit for bit.
+    let out = awb_sim(&[
+        "serve",
+        "cora",
+        "--scale",
+        "0.25",
+        "--pes",
+        "32",
+        "--requests",
+        "3",
+        "--store",
+        &store_arg,
+        "--host-mem-budget",
+        "1",
+        "--compare-cold",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("streaming :"), "{text}");
+    assert!(
+        text.contains("outputs bit-identical"),
+        "streamed serve cold comparison failed:\n{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The streaming flags reject contradictory or meaningless combinations
+/// with typed CLI errors (exit code 2, message naming the conflict).
+#[test]
+fn streaming_flag_conflicts_are_typed_errors() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["run", "cora", "--host-mem-budget", "4"],
+            "requires --store",
+        ),
+        (
+            &["run", "cora", "--store", "s", "--shards", "2"],
+            "mutually exclusive",
+        ),
+        (
+            &["run", "cora", "--store", "s", "--mem-budget", "4"],
+            "mutually exclusive",
+        ),
+        (
+            &["run", "cora", "--store", "s", "--host-mem-budget", "0"],
+            ">= 1 MB",
+        ),
+        (
+            &["serve", "cora", "--trace", "--store", "s"],
+            "does not apply",
+        ),
+    ];
+    for (args, needle) in cases {
+        let out = awb_sim(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{args:?} missing `{needle}`:\n{err}");
+    }
+}
